@@ -1,0 +1,125 @@
+package kspr_test
+
+// This file maps every table and figure of the paper's evaluation to a
+// testing.B benchmark, so `go test -bench=.` regenerates the whole suite at
+// reduced scale and `cmd/ksprbench` produces the full tables. Benchmarks
+// print their rows once (on the first iteration) and otherwise measure the
+// end-to-end experiment runtime.
+//
+// Scale: BENCH_SCALE-like tuning is deliberately compile-time constant so
+// results are comparable run to run; edit benchScale or use ksprbench
+// -scale for bigger runs.
+
+import (
+	"io"
+	"math/rand"
+	"os"
+	"testing"
+
+	kspr "repro"
+	"repro/internal/experiments"
+)
+
+// benchScale keeps `go test -bench=.` tractable on a laptop; ksprbench
+// defaults to 1.0 (20K records) and the paper used up to 10M.
+const benchScale = 0.05
+
+// benchConfig returns the experiment configuration for benchmarks. Rows are
+// printed only when -v is given; timing is what the benchmark reports.
+func benchConfig(verbose bool) experiments.Config {
+	out := io.Discard
+	if verbose {
+		out = os.Stdout
+	}
+	return experiments.Config{Scale: benchScale, Queries: 1, Seed: 1, Out: out}
+}
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, ok := experiments.Lookup(id)
+	if !ok {
+		b.Fatalf("experiment %s not registered", id)
+	}
+	cfg := benchConfig(testing.Verbose())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := e.Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// One benchmark per table/figure of the evaluation section.
+
+func BenchmarkTable1_RealDatasetInventory(b *testing.B)     { benchExperiment(b, "table1") }
+func BenchmarkTable2_ParameterGrid(b *testing.B)            { benchExperiment(b, "table2") }
+func BenchmarkFig9_NBACaseStudy(b *testing.B)               { benchExperiment(b, "fig9") }
+func BenchmarkFig10a_LPCTAvsRTOPK(b *testing.B)             { benchExperiment(b, "fig10a") }
+func BenchmarkFig10b_AllAlgorithmsVsIMaxRank(b *testing.B)  { benchExperiment(b, "fig10b") }
+func BenchmarkFig11_ProcessedRecordsAndNodes(b *testing.B)  { benchExperiment(b, "fig11") }
+func BenchmarkFig12_EffectOfCardinality(b *testing.B)       { benchExperiment(b, "fig12") }
+func BenchmarkFig13_EffectOfDimensionality(b *testing.B)    { benchExperiment(b, "fig13") }
+func BenchmarkFig14_EffectOfDistribution(b *testing.B)      { benchExperiment(b, "fig14") }
+func BenchmarkFig15_RealDatasets(b *testing.B)              { benchExperiment(b, "fig15") }
+func BenchmarkFig16_LPvsHalfspaceIntersection(b *testing.B) { benchExperiment(b, "fig16") }
+func BenchmarkFig17_Lemma2Elimination(b *testing.B)         { benchExperiment(b, "fig17") }
+func BenchmarkFig18_BoundModes(b *testing.B)                { benchExperiment(b, "fig18") }
+func BenchmarkFig19_DiskScenario(b *testing.B)              { benchExperiment(b, "fig19") }
+func BenchmarkFig20_PCTAvsKSkyband(b *testing.B)            { benchExperiment(b, "fig20") }
+func BenchmarkFig22_TransformedVsOriginal(b *testing.B)     { benchExperiment(b, "fig22") }
+func BenchmarkFig23_IndexConstruction(b *testing.B)         { benchExperiment(b, "fig23") }
+func BenchmarkFig24_AmortizedResponseTime(b *testing.B)     { benchExperiment(b, "fig24") }
+
+// Micro-benchmarks of the public API on a fixed workload, one per
+// algorithm, for quick regression tracking.
+
+func benchDB(b *testing.B, n, d int) *kspr.DB {
+	b.Helper()
+	rng := rand.New(rand.NewSource(11))
+	records := make([][]float64, n)
+	for i := range records {
+		r := make([]float64, d)
+		for j := range r {
+			r[j] = rng.Float64()
+		}
+		records[i] = r
+	}
+	db, err := kspr.Open(records)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return db
+}
+
+func benchAlgorithm(b *testing.B, algo kspr.Algorithm, k int) {
+	db := benchDB(b, 2000, 4)
+	focal := db.Skyline()[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.KSPR(focal, k, kspr.WithAlgorithm(algo), kspr.WithoutGeometry()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkQueryCTA_k10(b *testing.B)      { benchAlgorithm(b, kspr.CTA, 10) }
+func BenchmarkQueryPCTA_k10(b *testing.B)     { benchAlgorithm(b, kspr.PCTA, 10) }
+func BenchmarkQueryLPCTA_k10(b *testing.B)    { benchAlgorithm(b, kspr.LPCTA, 10) }
+func BenchmarkQueryKSkyband_k10(b *testing.B) { benchAlgorithm(b, kspr.KSkybandCTA, 10) }
+
+func BenchmarkTopK(b *testing.B) {
+	db := benchDB(b, 50000, 4)
+	w := []float64{0.4, 0.3, 0.2, 0.1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		db.TopK(w, 10)
+	}
+}
+
+func BenchmarkSkyline(b *testing.B) {
+	db := benchDB(b, 50000, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		db.Skyline()
+	}
+}

@@ -1,0 +1,142 @@
+// Command kspr answers a single k-Shortlist Preference Region query from
+// the terminal: load a CSV dataset (see ksprgen), pick a focal record and
+// k, and print the regions as text or JSON.
+//
+// Example:
+//
+//	ksprgen -dist IND -n 5000 -d 3 -o d.csv
+//	kspr -data d.csv -focal 17 -k 10 -volumes
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	kspr "repro"
+	"repro/internal/dataset"
+)
+
+func main() {
+	var (
+		dataPath = flag.String("data", "", "CSV dataset (required; header row, optional leading label column)")
+		focal    = flag.Int("focal", 0, "focal record index")
+		k        = flag.Int("k", 10, "shortlist size")
+		algo     = flag.String("algo", "lp-cta", "algorithm: cta, p-cta, lp-cta, k-skyband")
+		space    = flag.String("space", "transformed", "preference space: transformed, original")
+		volumes  = flag.Bool("volumes", false, "measure region volumes")
+		asJSON   = flag.Bool("json", false, "emit JSON")
+		svgPath  = flag.String("svg", "", "write an SVG plot of the regions (d=3 data only)")
+		seed     = flag.Int64("seed", 1, "seed for volume estimation")
+	)
+	flag.Parse()
+	if *dataPath == "" {
+		fmt.Fprintln(os.Stderr, "kspr: -data is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	f, err := os.Open(*dataPath)
+	if err != nil {
+		fatal(err)
+	}
+	ds, err := dataset.ReadCSV(f, *dataPath)
+	f.Close()
+	if err != nil {
+		fatal(err)
+	}
+	records := make([][]float64, ds.Len())
+	for i, r := range ds.Records {
+		records[i] = r
+	}
+	db, err := kspr.Open(records)
+	if err != nil {
+		fatal(err)
+	}
+
+	opts := []kspr.QueryOption{kspr.WithSeed(*seed)}
+	switch strings.ToLower(*algo) {
+	case "cta":
+		opts = append(opts, kspr.WithAlgorithm(kspr.CTA))
+	case "p-cta", "pcta":
+		opts = append(opts, kspr.WithAlgorithm(kspr.PCTA))
+	case "lp-cta", "lpcta":
+		opts = append(opts, kspr.WithAlgorithm(kspr.LPCTA))
+	case "k-skyband", "kskyband":
+		opts = append(opts, kspr.WithAlgorithm(kspr.KSkybandCTA))
+	default:
+		fatal(fmt.Errorf("unknown algorithm %q", *algo))
+	}
+	switch strings.ToLower(*space) {
+	case "transformed":
+	case "original":
+		opts = append(opts, kspr.WithSpace(kspr.Original))
+	default:
+		fatal(fmt.Errorf("unknown space %q", *space))
+	}
+	if *volumes {
+		opts = append(opts, kspr.WithVolumes(20000))
+	}
+
+	res, err := db.KSPR(*focal, *k, opts...)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *svgPath != "" {
+		f, err := os.Create(*svgPath)
+		if err != nil {
+			fatal(err)
+		}
+		title := fmt.Sprintf("kSPR regions, focal %d, k=%d", *focal, *k)
+		xl, yl := "w1", "w2"
+		if len(ds.Attributes) >= 2 {
+			xl, yl = ds.Attributes[0], ds.Attributes[1]
+		}
+		err = kspr.WriteSVG(f, res, kspr.SVGOptions{Title: title, XLabel: xl, YLabel: yl})
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "kspr: wrote %s\n", *svgPath)
+	}
+
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	name := fmt.Sprintf("record %d", *focal)
+	if len(ds.Labels) > *focal {
+		name = fmt.Sprintf("%s (record %d)", ds.Labels[*focal], *focal)
+	}
+	fmt.Printf("kSPR for %s, k=%d, %d records, d=%d\n", name, *k, db.Len(), db.Dim())
+	fmt.Printf("focal attributes: %.4f\n", db.Record(*focal))
+	fmt.Printf("%d regions; stats: processed=%d nodes=%d batches=%d baseRank=%d elapsed=%v\n",
+		len(res.Regions), res.Stats.ProcessedRecords, res.Stats.CellTreeNodes,
+		res.Stats.Batches, res.Stats.BaseRank, res.Stats.Elapsed)
+	for i, reg := range res.Regions {
+		fmt.Printf("region %d: rank=%d exact=%v witness=%.4f", i, reg.Rank, reg.RankExact, reg.Witness)
+		if *volumes {
+			fmt.Printf(" volume=%.6f", reg.Volume)
+		}
+		fmt.Println()
+		for _, v := range reg.Vertices {
+			fmt.Printf("    vertex %.4f\n", v)
+		}
+	}
+	if *volumes {
+		fmt.Printf("impact probability (uniform preferences): %.4f\n", db.ImpactProbability(res, 100000, *seed))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "kspr:", err)
+	os.Exit(1)
+}

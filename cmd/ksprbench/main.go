@@ -1,0 +1,70 @@
+// Command ksprbench regenerates the tables and figures of the paper's
+// evaluation (§7 and appendices) on scaled-down workloads. Run a single
+// experiment or the whole suite:
+//
+//	ksprbench -list
+//	ksprbench -exp fig10b
+//	ksprbench -exp all -scale 0.5 -queries 3 -seed 1
+//
+// Absolute numbers differ from the paper (different hardware, language,
+// and scale); the shapes — who wins, by roughly what factor, where trends
+// bend — are what the harness reproduces. See EXPERIMENTS.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment id (see -list) or 'all'")
+		scale   = flag.Float64("scale", 1.0, "cardinality scale factor (1.0 = 20K base)")
+		queries = flag.Int("queries", 3, "focal records averaged per data point")
+		seed    = flag.Int64("seed", 1, "random seed")
+		skyband = flag.Bool("skyband-focals", false, "draw focal records from the K-skyband (non-trivial queries) instead of uniformly")
+		list    = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Desc)
+		}
+		return
+	}
+
+	cfg := experiments.Config{
+		Scale:         *scale,
+		Queries:       *queries,
+		Seed:          *seed,
+		SkybandFocals: *skyband,
+		Out:           os.Stdout,
+	}
+
+	run := func(e experiments.Experiment) {
+		start := time.Now()
+		if err := e.Run(cfg); err != nil {
+			fmt.Fprintf(os.Stderr, "ksprbench: %s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		fmt.Printf("[%s completed in %v]\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+
+	if *exp == "all" {
+		for _, e := range experiments.All() {
+			run(e)
+		}
+		return
+	}
+	e, ok := experiments.Lookup(*exp)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "ksprbench: unknown experiment %q (use -list)\n", *exp)
+		os.Exit(2)
+	}
+	run(e)
+}

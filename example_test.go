@@ -1,0 +1,86 @@
+package kspr_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	kspr "repro"
+)
+
+// Example demonstrates the basic kSPR flow on the paper's Figure-1
+// restaurants: ratings for value, service and ambiance, focal record Kyma,
+// k = 3.
+func Example() {
+	records := [][]float64{
+		{0.3, 0.8, 0.8}, // L'Entrecôte
+		{0.9, 0.4, 0.4}, // Beirut Grill
+		{0.8, 0.3, 0.4}, // El Coyote
+		{0.4, 0.3, 0.6}, // La Braceria
+		{0.5, 0.5, 0.7}, // Kyma (focal)
+	}
+	db, err := kspr.Open(records)
+	if err != nil {
+		panic(err)
+	}
+	res, err := db.KSPR(4, 3, kspr.WithVolumes(20000), kspr.WithSeed(1))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("regions: %d\n", len(res.Regions))
+	fmt.Printf("Kyma shortlisted for %.0f%% of preferences\n",
+		100*db.ImpactProbability(res, 200000, 1))
+	// Output:
+	// regions: 5
+	// Kyma shortlisted for 93% of preferences
+}
+
+// ExampleDB_TopK shows the plain top-k query against the same index.
+func ExampleDB_TopK() {
+	records := [][]float64{
+		{0.3, 0.8, 0.8},
+		{0.9, 0.4, 0.4},
+		{0.8, 0.3, 0.4},
+		{0.4, 0.3, 0.6},
+		{0.5, 0.5, 0.7},
+	}
+	db, _ := kspr.Open(records)
+	fmt.Println(db.TopK([]float64{0.2, 0.2, 0.6}, 3))
+	// Output: [0 4 3]
+}
+
+func TestResultJSONRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	records := make([][]float64, 80)
+	for i := range records {
+		records[i] = []float64{rng.Float64(), rng.Float64(), rng.Float64()}
+	}
+	db, err := kspr.Open(records)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.KSPR(db.Skyline()[0], 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back kspr.Result
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Regions) != len(res.Regions) || back.K != res.K {
+		t.Fatalf("round trip lost data: %d regions vs %d", len(back.Regions), len(res.Regions))
+	}
+	for i := range back.Regions {
+		if back.Regions[i].Rank != res.Regions[i].Rank {
+			t.Fatal("region rank lost in round trip")
+		}
+		if !back.Regions[i].Witness.Equal(res.Regions[i].Witness) {
+			t.Fatal("region witness lost in round trip")
+		}
+	}
+}

@@ -1,0 +1,85 @@
+// Approximate demonstrates the approximate kSPR query (the paper's §8
+// future work): trading exactness for speed with a hard accuracy
+// guarantee, and visualizing certain vs uncertain regions as SVG.
+//
+// Run with: go run ./examples/approximate
+// Writes approx.svg and exact.svg into the working directory.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"time"
+
+	kspr "repro"
+)
+
+func main() {
+	// 3 attributes so the preference space is 2-d and plottable.
+	rng := rand.New(rand.NewSource(2024))
+	records := make([][]float64, 5000)
+	for i := range records {
+		records[i] = []float64{rng.Float64(), rng.Float64(), rng.Float64()}
+	}
+	db, err := kspr.Open(records)
+	if err != nil {
+		log.Fatal(err)
+	}
+	focal := db.Skyline()[0]
+	const k = 10
+
+	start := time.Now()
+	exact, err := db.KSPR(focal, k)
+	if err != nil {
+		log.Fatal(err)
+	}
+	exactTime := time.Since(start)
+	fmt.Printf("exact LP-CTA:   %8v, %4d regions\n", exactTime.Round(time.Millisecond), len(exact.Regions))
+
+	for _, eps := range []float64{0.05, 0.01} {
+		start = time.Now()
+		approx, err := db.KSPRApprox(focal, k, eps)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("approx eps=%.2f: %8v, %4d certain regions, uncertain volume %.4f (converged=%v)\n",
+			eps, time.Since(start).Round(time.Millisecond), len(approx.Regions),
+			approx.UncertainVolume, approx.Converged)
+	}
+
+	// Render both answers.
+	approx, err := db.KSPRApprox(focal, k, 0.01)
+	if err != nil {
+		log.Fatal(err)
+	}
+	writeSVG("exact.svg", exact, kspr.SVGOptions{Title: "exact kSPR (LP-CTA)"})
+	writeSVG("approx.svg", &approx.Result, kspr.SVGOptions{
+		Title: "approximate kSPR (certain + uncertain)",
+		Extra: approx.Uncertain,
+	})
+	fmt.Println("wrote exact.svg and approx.svg")
+
+	// The guarantee in action: impact probability bracketed by the
+	// approximate answer.
+	exactProb := db.ImpactProbability(exact, 100000, 1)
+	var certain float64
+	for _, r := range approx.Regions {
+		certain += r.Volume
+	}
+	simplexArea := 0.5 // 2-d transformed space
+	fmt.Printf("impact probability: exact %.4f, approx in [%.4f, %.4f]\n",
+		exactProb, certain/simplexArea, (certain+approx.UncertainVolume)/simplexArea)
+}
+
+func writeSVG(path string, res *kspr.Result, opts kspr.SVGOptions) {
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	if err := kspr.WriteSVG(f, res, opts); err != nil {
+		log.Fatal(err)
+	}
+}

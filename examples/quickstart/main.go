@@ -1,0 +1,58 @@
+// Quickstart: build a small dataset, ask where a record is shortlisted, and
+// measure its market impact.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	kspr "repro"
+)
+
+func main() {
+	// A synthetic catalogue of 500 options scored on 3 criteria in [0,1].
+	rng := rand.New(rand.NewSource(42))
+	records := make([][]float64, 500)
+	for i := range records {
+		records[i] = []float64{rng.Float64(), rng.Float64(), rng.Float64()}
+	}
+
+	db, err := kspr.Open(records)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Pick a well-placed focal option: the first skyline record.
+	focal := db.Skyline()[0]
+	fmt.Printf("focal record #%d = %.3f\n", focal, db.Record(focal))
+
+	// Where in preference space is it among the top 10?
+	res, err := db.KSPR(focal, 10, kspr.WithVolumes(20000), kspr.WithSeed(1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("kSPR result: %d regions (processed %d of %d records, %d CellTree nodes, %v)\n",
+		len(res.Regions), res.Stats.ProcessedRecords, db.Len(), res.Stats.CellTreeNodes, res.Stats.Elapsed)
+
+	for i, reg := range res.Regions {
+		if i >= 5 {
+			fmt.Printf("  ... and %d more regions\n", len(res.Regions)-5)
+			break
+		}
+		fmt.Printf("  region %d: rank %d (exact=%v), witness w=(%.3f, %.3f, %.3f), area %.4f\n",
+			i, reg.Rank, reg.RankExact, reg.Witness[0], reg.Witness[1], 1-reg.Witness[0]-reg.Witness[1], reg.Volume)
+	}
+
+	// Market impact: the probability a random user shortlists the record.
+	prob := db.ImpactProbability(res, 100000, 7)
+	fmt.Printf("market impact (uniform preferences): %.2f%%\n", 100*prob)
+
+	// With a known preference density (users mostly care about criterion 1).
+	peaked := db.ImpactProbabilityPDF(res, func(w []float64) float64 {
+		return w[0] * w[0]
+	}, 100000, 7)
+	fmt.Printf("market impact (criterion-1-heavy users): %.2f%%\n", 100*peaked)
+}

@@ -1,0 +1,287 @@
+package baseline
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/lp"
+	"repro/internal/polytope"
+)
+
+// IMaxRankOptions tunes the reconstruction of the maximum-rank baseline.
+type IMaxRankOptions struct {
+	// MaxCrossing is the quad-tree subdivision threshold: leaves are split
+	// while more hyperplanes than this cut through them (and MaxDepth
+	// allows).
+	MaxCrossing int
+	// MaxDepth caps quad-tree depth.
+	MaxDepth int
+}
+
+// DefaultIMaxRankOptions mirror a reasonable configuration of [23].
+func DefaultIMaxRankOptions() IMaxRankOptions {
+	return IMaxRankOptions{MaxCrossing: 8, MaxDepth: 10}
+}
+
+// IMaxRank answers kSPR through the incremental maximum-rank machinery of
+// Mouratidis et al. [23], reconstructed from its description: the
+// (transformed) preference space is partitioned by a quad-tree; each leaf
+// tracks the positive halfspaces that fully cover it and the hyperplanes
+// that cut through it; leaves are processed in increasing covered-count
+// order; inside a leaf, cells are materialized by EXACT halfspace
+// intersection (the expensive geometric work that makes this baseline
+// slow), and cells are reported for ranks k*, k*+1, ..., k.
+//
+// It exists as a correctness cross-check and as the Fig. 10(b) competitor;
+// expect it to scale poorly by design.
+func IMaxRank(records []geom.Vector, focal geom.Vector, focalID, k int, opts IMaxRankOptions) (*core.Result, error) {
+	d := len(focal)
+	if d < 2 {
+		return nil, fmt.Errorf("baseline: iMaxRank needs at least 2 dimensions")
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("baseline: k must be positive, got %d", k)
+	}
+	if opts.MaxCrossing <= 0 {
+		opts.MaxCrossing = 8
+	}
+	if opts.MaxDepth <= 0 {
+		opts.MaxDepth = 10
+	}
+	dim := d - 1
+	res := &core.Result{Focal: focal.Clone(), K: k, Space: core.Transformed}
+
+	base := 0
+	var planes []geom.Hyperplane
+	for id, rec := range records {
+		if id == focalID {
+			continue
+		}
+		switch geom.Compare(rec, focal) {
+		case geom.DomFirst:
+			base++
+			continue
+		case geom.DomSecond, geom.DomEqual:
+			continue
+		}
+		h := geom.NewHyperplaneTransformed(id, rec, focal)
+		if h.Kind == geom.Proper {
+			planes = append(planes, h)
+		}
+	}
+	res.Stats.BaseRank = base
+	res.Stats.ProcessedRecords = len(planes)
+	if base >= k {
+		return res, nil
+	}
+	budget := k - base // positive-halfspace budget inside the quad-tree
+
+	// Build the quad-tree over [0,1]^dim; boxes fully outside the simplex
+	// are discarded.
+	root := &qnode{lo: make(geom.Vector, dim), hi: ones(dim)}
+	for i := range planes {
+		root.crossing = append(root.crossing, i)
+	}
+	leaves := &qleafHeap{}
+	var build func(n *qnode, depth int)
+	build = func(n *qnode, depth int) {
+		if n.coverPos >= budget {
+			return // every cell inside already has rank > k
+		}
+		if len(n.crossing) <= opts.MaxCrossing || depth >= opts.MaxDepth {
+			heap.Push(leaves, n)
+			return
+		}
+		for _, child := range n.subdivide(planes) {
+			build(child, depth+1)
+		}
+	}
+	build(root, 0)
+
+	// Process leaves in increasing covered-count order (the [23] strategy);
+	// each leaf materializes its local arrangement with exact geometry.
+	var lpStats lp.Stats
+	for leaves.Len() > 0 {
+		n := heap.Pop(leaves).(*qnode)
+		if n.coverPos >= budget {
+			continue
+		}
+		if err := processLeaf(n, planes, dim, base, k, res, &lpStats); err != nil {
+			return nil, err
+		}
+	}
+	res.Stats.LPSolves = lpStats.Solves
+	res.Stats.LPPivots = lpStats.Pivots
+	res.Stats.Regions = len(res.Regions)
+	return res, nil
+}
+
+// qnode is a quad-tree node over the transformed preference space.
+type qnode struct {
+	lo, hi   geom.Vector
+	coverPos int   // positive halfspaces fully covering the box
+	crossing []int // indices into planes of hyperplanes cutting the box
+}
+
+func ones(dim int) geom.Vector {
+	v := make(geom.Vector, dim)
+	for i := range v {
+		v[i] = 1
+	}
+	return v
+}
+
+// subdivide splits the box into 2^dim children and classifies the parent's
+// crossing hyperplanes against each child by corner evaluation. Children
+// fully outside the simplex (Σw >= 1 at the low corner) are dropped.
+func (n *qnode) subdivide(planes []geom.Hyperplane) []*qnode {
+	dim := len(n.lo)
+	var out []*qnode
+	for mask := 0; mask < 1<<dim; mask++ {
+		lo := make(geom.Vector, dim)
+		hi := make(geom.Vector, dim)
+		for j := 0; j < dim; j++ {
+			mid := (n.lo[j] + n.hi[j]) / 2
+			if mask&(1<<j) != 0 {
+				lo[j], hi[j] = mid, n.hi[j]
+			} else {
+				lo[j], hi[j] = n.lo[j], mid
+			}
+		}
+		if lo.Sum() >= 1 {
+			continue // entirely outside the simplex
+		}
+		child := &qnode{lo: lo, hi: hi, coverPos: n.coverPos}
+		for _, pi := range n.crossing {
+			switch classifyBox(planes[pi], lo, hi) {
+			case geom.Positive:
+				child.coverPos++
+			case geom.Negative:
+				// negative cover: irrelevant to the count
+			default:
+				child.crossing = append(child.crossing, pi)
+			}
+		}
+		out = append(out, child)
+	}
+	return out
+}
+
+// classifyBox evaluates h on all corners of the box: all positive -> the
+// positive halfspace covers it, all negative -> the negative does, else it
+// crosses.
+func classifyBox(h geom.Hyperplane, lo, hi geom.Vector) geom.Sign {
+	dim := len(lo)
+	minV, maxV := math.Inf(1), math.Inf(-1)
+	for mask := 0; mask < 1<<dim; mask++ {
+		v := -h.RHS
+		for j := 0; j < dim; j++ {
+			if mask&(1<<j) != 0 {
+				v += h.Coef[j] * hi[j]
+			} else {
+				v += h.Coef[j] * lo[j]
+			}
+		}
+		minV = math.Min(minV, v)
+		maxV = math.Max(maxV, v)
+	}
+	switch {
+	case minV > 0:
+		return geom.Positive
+	case maxV < 0:
+		return geom.Negative
+	default:
+		return 0
+	}
+}
+
+// qleafHeap orders leaves by ascending coverPos.
+type qleafHeap []*qnode
+
+func (h qleafHeap) Len() int            { return len(h) }
+func (h qleafHeap) Less(i, j int) bool  { return h[i].coverPos < h[j].coverPos }
+func (h qleafHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *qleafHeap) Push(x interface{}) { *h = append(*h, x.(*qnode)) }
+func (h *qleafHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// localCell is a cell of the in-leaf arrangement.
+type localCell struct {
+	cons []geom.Constraint
+	pos  int // positive halfspaces among the leaf's crossing planes
+}
+
+// processLeaf materializes the arrangement of the leaf's crossing
+// hyperplanes with exact halfspace-intersection feasibility and reports
+// cells whose total rank stays within k.
+func processLeaf(n *qnode, planes []geom.Hyperplane, dim, base, k int, res *core.Result, lpStats *lp.Stats) error {
+	// Leaf box constraints plus the simplex boundary.
+	boxCons := geom.SpaceBoundsTransformed(dim)
+	for j := 0; j < dim; j++ {
+		loRow := make(geom.Vector, dim)
+		loRow[j] = -1
+		boxCons = append(boxCons, geom.Constraint{A: loRow, B: -n.lo[j]})
+		hiRow := make(geom.Vector, dim)
+		hiRow[j] = 1
+		boxCons = append(boxCons, geom.Constraint{A: hiRow, B: n.hi[j]})
+	}
+	cells := []localCell{{cons: boxCons, pos: 0}}
+	budget := k - base - n.coverPos
+	for _, pi := range n.crossing {
+		h := planes[pi]
+		next := cells[:0:0]
+		for _, c := range cells {
+			for _, sign := range []geom.Sign{geom.Negative, geom.Positive} {
+				pos := c.pos
+				if sign == geom.Positive {
+					pos++
+					if 1+pos > budget {
+						continue // cell would exceed rank k everywhere
+					}
+				}
+				cons := append(append([]geom.Constraint(nil), c.cons...),
+					geom.Halfspace{H: h, Sign: sign}.AsConstraint())
+				// Exact geometric feasibility — deliberately the expensive
+				// path, as in [23].
+				ok, err := polytope.FeasibleByVertexEnum(cons, dim, lpStats)
+				if err != nil {
+					return err
+				}
+				if !ok {
+					continue
+				}
+				next = append(next, localCell{cons: cons, pos: pos})
+			}
+		}
+		cells = next
+	}
+	for _, c := range cells {
+		rank := 1 + base + n.coverPos + c.pos
+		if rank > k {
+			continue
+		}
+		poly, err := polytope.FromConstraints(c.cons, dim, lpStats)
+		if err != nil {
+			return err
+		}
+		if poly.Empty() {
+			continue
+		}
+		res.Regions = append(res.Regions, core.Region{
+			Constraints: c.cons,
+			Vertices:    poly.Vertices,
+			Witness:     poly.Centroid(),
+			Rank:        rank,
+			RankExact:   true,
+		})
+	}
+	return nil
+}

@@ -1,0 +1,121 @@
+// Package baseline implements the two competitors the paper evaluates
+// against: RTOPK, the monochromatic reverse top-k of Vlachou et al. for
+// 2-dimensional data (§2, §7.3 / Fig. 10a), and iMaxRank, the incremental
+// maximum-rank adaptation of Mouratidis et al. (§2, §7.3 / Fig. 10b).
+package baseline
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+)
+
+// RTopK solves kSPR for d=2 with the switching-point sweep of the
+// monochromatic reverse top-k query: the scoring function is
+// a·r1 + (1-a)·r2, so the preference space is the segment a ∈ (0,1) and,
+// for every record not dominating/dominated by the focal record, there is
+// at most one value of a where its order relative to the focal record
+// flips. Sorting those switching values and sweeping a from 0 to 1 yields
+// the rank of the focal record in every elementary interval.
+//
+// focalID is the index of focal in records (-1 when absent). The result's
+// regions are the elementary intervals with rank <= k, expressed in the
+// transformed space (w1 = a).
+func RTopK(records []geom.Vector, focal geom.Vector, focalID, k int) (*core.Result, error) {
+	if len(focal) != 2 {
+		return nil, fmt.Errorf("baseline: RTopK requires 2-dimensional records, got %d", len(focal))
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("baseline: k must be positive, got %d", k)
+	}
+	res := &core.Result{Focal: focal.Clone(), K: k, Space: core.Transformed}
+
+	// Records dominating p beat it for every a; dominated/tied records
+	// never matter. RTOPK compares p against everything else (§7.3 notes it
+	// applies the §3.1 filtering).
+	base := 0
+	type event struct {
+		a     float64
+		delta int // +1: record starts beating p at a; -1: it stops
+	}
+	var events []event
+	countAtZero := 0 // records beating p as a -> 0+
+	considered := 0
+	for id, rec := range records {
+		if id == focalID {
+			continue
+		}
+		switch geom.Compare(rec, focal) {
+		case geom.DomFirst:
+			base++
+			continue
+		case geom.DomSecond, geom.DomEqual:
+			continue
+		}
+		considered++
+		// S(r)-S(p) = A·a + B with A = (r1-p1)-(r2-p2), B = r2-p2.
+		A := (rec[0] - focal[0]) - (rec[1] - focal[1])
+		B := rec[1] - focal[1]
+		if A == 0 {
+			if B > 0 {
+				countAtZero++
+			}
+			continue
+		}
+		aStar := -B / A
+		if aStar <= 0 || aStar >= 1 {
+			// No switch inside (0,1): constant sign there; sample at 1/2.
+			if A*0.5+B > 0 {
+				countAtZero++
+			}
+			continue
+		}
+		if A > 0 {
+			// Below aStar the record loses to p, above it wins.
+			events = append(events, event{aStar, +1})
+		} else {
+			countAtZero++
+			events = append(events, event{aStar, -1})
+		}
+	}
+	res.Stats.ProcessedRecords = considered
+	res.Stats.BaseRank = base
+	if base >= k {
+		res.Stats.Regions = 0
+		return res, nil
+	}
+
+	sort.Slice(events, func(i, j int) bool { return events[i].a < events[j].a })
+	count := base + countAtZero
+	lo := 0.0
+	flush := func(hi float64, rank int) {
+		if rank <= k && hi-lo > 1e-12 {
+			res.Regions = append(res.Regions, interval1D(lo, hi, rank))
+		}
+	}
+	for _, ev := range events {
+		flush(ev.a, count+1)
+		lo = ev.a
+		count += ev.delta
+	}
+	flush(1.0, count+1)
+	res.Stats.Regions = len(res.Regions)
+	return res, nil
+}
+
+// interval1D builds a 1-d transformed-space region [lo, hi].
+func interval1D(lo, hi float64, rank int) core.Region {
+	return core.Region{
+		Constraints: []geom.Constraint{
+			{A: geom.Vector{-1}, B: -lo, Strict: true},
+			{A: geom.Vector{1}, B: hi, Strict: true},
+		},
+		Vertices:  []geom.Vector{{lo}, {hi}},
+		Witness:   geom.Vector{(lo + hi) / 2},
+		Rank:      rank,
+		RankExact: true,
+		Volume:    hi - lo,
+	}
+}

@@ -1,0 +1,171 @@
+package celltree
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/lp"
+	"repro/internal/polytope"
+)
+
+func TestBuildCellGeomSimplex(t *testing.T) {
+	g := BuildCellGeom(geom.SpaceBoundsTransformed(2), 2)
+	if g == nil {
+		t.Fatal("simplex geometry is nil")
+	}
+	if len(g.Verts) != 3 {
+		t.Fatalf("simplex has %d vertices, want 3", len(g.Verts))
+	}
+	for _, f := range g.Facets {
+		tight := false
+		for _, v := range g.Verts {
+			if math.Abs(f.A.Dot(v)-f.B) < 1e-6 {
+				tight = true
+			}
+		}
+		if !tight {
+			t.Fatalf("facet %+v tight nowhere", f)
+		}
+	}
+	c := g.Centroid()
+	if !geom.InSimplex(c) {
+		t.Fatalf("centroid %v not interior", c)
+	}
+}
+
+func TestBuildCellGeomDegenerate(t *testing.T) {
+	cons := append(geom.SpaceBoundsTransformed(2),
+		geom.Constraint{A: geom.Vector{1, 0}, B: 0.5},
+		geom.Constraint{A: geom.Vector{-1, 0}, B: -0.5},
+	)
+	if g := BuildCellGeom(cons, 2); g != nil {
+		t.Fatalf("degenerate region produced geometry with %d vertices", len(g.Verts))
+	}
+}
+
+func TestBuildCellGeomDeduplicatesFacets(t *testing.T) {
+	// Bounds repeated twice: facet list must not contain duplicates.
+	cons := append(geom.SpaceBoundsTransformed(2), geom.SpaceBoundsTransformed(2)...)
+	g := BuildCellGeom(cons, 2)
+	if g == nil {
+		t.Fatal("geometry nil")
+	}
+	for i := range g.Facets {
+		for j := i + 1; j < len(g.Facets); j++ {
+			if containsPlane(g.Facets[i:i+1], g.Facets[j]) {
+				t.Fatalf("duplicate facet planes %d and %d", i, j)
+			}
+		}
+	}
+}
+
+func TestCutMatchesFromScratch(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 40; trial++ {
+		dim := 2 + trial%2
+		base := BuildCellGeom(geom.SpaceBoundsTransformed(dim), dim)
+		rows := geom.SpaceBoundsTransformed(dim)
+		g := base
+		for cut := 0; cut < 3 && g != nil; cut++ {
+			a := make(geom.Vector, dim)
+			for j := range a {
+				a[j] = rng.NormFloat64()
+			}
+			n := a.Norm()
+			if n < 1e-9 {
+				continue
+			}
+			for j := range a {
+				a[j] /= n
+			}
+			row := geom.Constraint{A: a, B: rng.Float64()*0.5 - 0.05}
+			rows = append(rows, row)
+			g = g.Cut(row, dim)
+			scratch := BuildCellGeom(rows, dim)
+			if (g == nil) != (scratch == nil) {
+				t.Fatalf("trial %d cut %d: incremental nil=%v, scratch nil=%v",
+					trial, cut, g == nil, scratch == nil)
+			}
+			if g == nil {
+				break
+			}
+			if len(g.Verts) != len(scratch.Verts) {
+				t.Fatalf("trial %d cut %d: %d vertices incrementally, %d from scratch",
+					trial, cut, len(g.Verts), len(scratch.Verts))
+			}
+			for _, v := range g.Verts {
+				found := false
+				for _, u := range scratch.Verts {
+					if v.Equal(u) {
+						found = true
+						break
+					}
+				}
+				if !found {
+					t.Fatalf("trial %d: incremental vertex %v missing from scratch set", trial, v)
+				}
+			}
+		}
+	}
+}
+
+func TestEvalRangeClassification(t *testing.T) {
+	g := BuildCellGeom(geom.SpaceBoundsTransformed(2), 2)
+	// Hyperplane w1 = w2 cuts the simplex: eval range must straddle zero.
+	h := geom.NewHyperplaneTransformed(0, geom.Vector{1, 0, 0}, geom.Vector{0, 1, 0})
+	lo, hi := g.EvalRange(h)
+	if !(lo < 0 && hi > 0) {
+		t.Fatalf("cutting hyperplane classified [%g, %g]", lo, hi)
+	}
+	// A hyperplane far outside: strictly one-sided.
+	far := geom.Hyperplane{ID: 1, Coef: geom.Vector{1, 0}, RHS: 5, Kind: geom.Proper}
+	lo, hi = g.EvalRange(far)
+	if hi >= 0 {
+		t.Fatalf("far hyperplane classified [%g, %g], want all negative", lo, hi)
+	}
+}
+
+// Tree-level invariant: every node with geometry agrees with from-scratch
+// halfspace intersection of its path constraints.
+func TestNodeGeometryMatchesPathConstraints(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	tr := newTestTree(2, 1<<30)
+	for i := 0; i < 10; i++ {
+		if err := tr.Insert(randHyperplane(rng, i, 3), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	checked := 0
+	tr.LiveLeaves(func(n *Node) bool {
+		if n.Geom == nil {
+			return true
+		}
+		poly, err := polytope.FromConstraints(tr.PathConstraints(n), tr.Dim, &lp.Stats{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(poly.Vertices) != len(n.Geom.Verts) {
+			t.Fatalf("node geometry has %d vertices, scratch %d", len(n.Geom.Verts), len(poly.Vertices))
+		}
+		checked++
+		return checked < 30
+	})
+	if checked == 0 {
+		t.Fatal("no leaves carried geometry")
+	}
+}
+
+func TestGeomDecidesCounted(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	tr := newTestTree(2, 1<<30)
+	for i := 0; i < 12; i++ {
+		if err := tr.Insert(randHyperplane(rng, i, 3), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tr.Stats.GeomDecides == 0 {
+		t.Fatal("geometric classification never fired in 2-d")
+	}
+}

@@ -1,0 +1,34 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/rtree"
+)
+
+// Micro-benchmarks on a fixed moderate workload; bench_test.go at the
+// module root covers the paper's full figure suite.
+func benchAlgoMicro(b *testing.B, n, d, k int, algo Algorithm) {
+	b.Helper()
+	ds, err := dataset.Generate(dataset.Independent, n, d, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr, err := rtree.Build(ds.Records)
+	if err != nil {
+		b.Fatal(err)
+	}
+	focalID := tr.Skyline(nil)[2]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(tr, ds.Records[focalID], focalID, Options{K: k, Algorithm: algo}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCTA_n2k_k10(b *testing.B)    { benchAlgoMicro(b, 2000, 4, 10, CTA) }
+func BenchmarkPCTA_n2k_k10(b *testing.B)   { benchAlgoMicro(b, 2000, 4, 10, PCTA) }
+func BenchmarkLPCTA_n2k_k10(b *testing.B)  { benchAlgoMicro(b, 2000, 4, 10, LPCTA) }
+func BenchmarkLPCTA_n10k_k30(b *testing.B) { benchAlgoMicro(b, 10000, 4, 30, LPCTA) }

@@ -1,0 +1,515 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/celltree"
+	"repro/internal/geom"
+	"repro/internal/lp"
+	"repro/internal/rtree"
+)
+
+// boundFreshLeaves computes look-ahead rank bounds for every leaf created
+// since the previous batch and prunes / reports cells whose bounds decide
+// them (§6.4, Algorithm 3).
+func (r *runner) boundFreshLeaves() error {
+	fresh := r.ct.TakeFreshLeaves()
+	live := fresh[:0]
+	for _, leaf := range fresh {
+		if !leaf.Closed() {
+			live = append(live, leaf)
+		}
+	}
+	type decision struct {
+		lower, upper int
+	}
+	decisions := make([]decision, len(live))
+	if r.opts.Parallel && len(live) >= 16 {
+		// Classification is a pure function of the (immutable) cell and the
+		// index, so it parallelizes; decisions apply in leaf order below,
+		// keeping results bit-identical to the serial path.
+		workers := runtime.GOMAXPROCS(0)
+		if workers > len(live) {
+			workers = len(live)
+		}
+		var wg sync.WaitGroup
+		var firstErr error
+		var errOnce sync.Once
+		stats := make([]lp.Stats, workers)
+		next := int64(-1)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for {
+					i := int(atomic.AddInt64(&next, 1))
+					if i >= len(live) {
+						return
+					}
+					lo, hi, err := r.rankBounds(live[i], &stats[w])
+					if err != nil {
+						errOnce.Do(func() { firstErr = err })
+						return
+					}
+					decisions[i] = decision{lo, hi}
+				}
+			}(w)
+		}
+		wg.Wait()
+		if firstErr != nil {
+			return firstErr
+		}
+		for i := range stats {
+			r.lpStats.Solves += stats[i].Solves
+			r.lpStats.Pivots += stats[i].Pivots
+		}
+	} else {
+		for i, leaf := range live {
+			lo, hi, err := r.rankBounds(leaf, &r.lpStats)
+			if err != nil {
+				return err
+			}
+			decisions[i] = decision{lo, hi}
+		}
+	}
+	for i, leaf := range live {
+		r.result.Stats.RankBoundCells++
+		switch {
+		case decisions[i].lower > r.opts.K:
+			r.ct.Prune(leaf)
+			r.result.Stats.EarlyPruned++
+		case decisions[i].upper <= r.opts.K:
+			if err := r.emit(leaf, decisions[i].upper, false); err != nil {
+				return err
+			}
+			r.ct.Report(leaf)
+			r.result.Stats.EarlyReported++
+		}
+	}
+	return nil
+}
+
+// cellBounds carries the per-cell quantities shared across the index
+// traversal: the focal score interval and (transformed space only) the
+// min/max-vectors that power the fast bounds of §6.3.
+type cellBounds struct {
+	cons       []geom.Constraint
+	pMin, pMax float64
+	// stats receives LP activity for this cell's bounds; per-worker when
+	// bounds are computed in parallel.
+	stats *lp.Stats
+	// fast bounds (transformed space, FastBounds mode only)
+	useFast bool
+	wL, wU  geom.Vector // original-space d-dimensional corner weight vectors
+	// verts, when non-nil, holds the cell's exact vertices; linear score
+	// intervals are then min/max over the vertices instead of LP solves.
+	// This is an exact acceleration (a linear function attains its extrema
+	// over a polytope at vertices) that pays off in low-dimensional
+	// preference spaces; higher dimensions fall back to the LP bounds the
+	// paper describes.
+	verts []geom.Vector
+}
+
+// boundEps is the safety margin rank-bound comparisons keep from strict
+// equality, so that tiny numerical error in LP/vertex extrema can only make
+// the bounds looser (correct), never tighter (wrong).
+const boundEps = 1e-9
+
+// vertexBoundsMaxDim bounds the preference-space dimensionality for which
+// per-cell vertex enumeration is attempted, and vertexBoundsMaxFacets the
+// facet count beyond which it is abandoned.
+const vertexBoundsMaxDim = 3
+
+// intervalOverVertices returns [min, max] of obj·v + c across the vertices.
+func intervalOverVertices(verts []geom.Vector, obj geom.Vector, c float64) (float64, float64) {
+	lo := obj.Dot(verts[0]) + c
+	hi := lo
+	for _, v := range verts[1:] {
+		s := obj.Dot(v) + c
+		if s < lo {
+			lo = s
+		}
+		if s > hi {
+			hi = s
+		}
+	}
+	return lo, hi
+}
+
+// rankBounds computes [Rank(c), Rank̄(c)] for a cell: the best and worst
+// rank the focal record can attain inside it, over the FULL dataset
+// (processed or not — the bounds are independent of processing state).
+func (r *runner) rankBounds(leaf *celltree.Node, stats *lp.Stats) (int, int, error) {
+	cb := &cellBounds{cons: r.ct.PathConstraints(leaf), stats: stats}
+
+	if r.opts.Space == Original {
+		// Appendix C: every original-space cell touches the origin, so raw
+		// score intervals all start at 0 and are useless; bound the
+		// difference S(r) - S(p) instead.
+		return r.rankBoundsOriginal(leaf, cb)
+	}
+
+	if g := leaf.Geom; g != nil {
+		cb.verts = g.Verts
+	}
+	var err error
+	cb.pMin, cb.pMax, err = r.interval(cb, r.pObj, r.pConst)
+	if err != nil {
+		return 0, 0, err
+	}
+
+	if r.opts.Bounds == FastBounds {
+		cb.wL, cb.wU, err = r.cornerVectors(cb)
+		if err != nil {
+			return 0, 0, err
+		}
+		cb.useFast = true
+	}
+
+	if r.opts.Bounds == RecordBounds {
+		return r.rankBoundsByRecords(cb)
+	}
+	lower, upper := 1, 1
+	err = r.updateRank(r.tree.Root, cb, &lower, &upper)
+	return lower, upper, err
+}
+
+// rankBoundsOriginal derives rank bounds in the original space by
+// minimizing/maximizing S(r) - S(p) per entry (Appendix C). Fast bounds do
+// not apply there (the min-vector would always be the origin).
+func (r *runner) rankBoundsOriginal(leaf *celltree.Node, cb *cellBounds) (int, int, error) {
+	if g := leaf.Geom; g != nil {
+		cb.verts = g.Verts
+	}
+	lower, upper := 1, 1
+	if r.opts.Bounds == RecordBounds {
+		for id, rec := range r.tree.Records {
+			if r.rankSkip[id] {
+				continue
+			}
+			if err := r.recordDecideOriginal(rec, cb, &lower, &upper); err != nil {
+				return 0, 0, err
+			}
+			if lower > r.opts.K {
+				return lower, upper, nil
+			}
+		}
+		return lower, upper, nil
+	}
+	err := r.updateRankOriginal(r.tree.Root, cb, &lower, &upper)
+	return lower, upper, err
+}
+
+// interval returns [min, max] of obj·w + c over the cell closure, using
+// cached vertices when available and LPs otherwise.
+func (r *runner) interval(cb *cellBounds, obj geom.Vector, c float64) (float64, float64, error) {
+	if cb.verts != nil {
+		lo, hi := intervalOverVertices(cb.verts, obj, c)
+		return lo, hi, nil
+	}
+	return r.scoreInterval(cb.cons, obj, c, cb.stats)
+}
+
+// diffInterval returns min (wantMax=false) or max of (v - focal)·w over the
+// cell closure.
+func (r *runner) diffInterval(cb *cellBounds, v geom.Vector, wantMax bool) (float64, error) {
+	obj := make(geom.Vector, len(v))
+	for j := range obj {
+		obj[j] = v[j] - r.focal[j]
+	}
+	if cb.verts != nil {
+		lo, hi := intervalOverVertices(cb.verts, obj, 0)
+		if wantMax {
+			return hi, nil
+		}
+		return lo, nil
+	}
+	val, _, st, err := lp.Bound(cb.cons, obj, wantMax, cb.stats)
+	if err != nil {
+		return 0, err
+	}
+	if st != lp.Optimal {
+		return 0, errStatus(st)
+	}
+	return val, nil
+}
+
+func (r *runner) updateRankOriginal(n *rtree.Node, cb *cellBounds, lower, upper *int) error {
+	if *lower > r.opts.K {
+		return nil
+	}
+	for i := range n.Entries {
+		e := &n.Entries[i]
+		if e.Child != nil {
+			// min over cell of S(GL)-S(p) > 0: the whole group beats p
+			// everywhere in the cell.
+			minLo, err := r.diffInterval(cb, e.Low, false)
+			if err != nil {
+				return err
+			}
+			if minLo > boundEps {
+				*lower += e.Count
+				*upper += e.Count
+			} else {
+				// max of S(GU)-S(p) <= 0: the group never beats p.
+				maxHi, err := r.diffInterval(cb, e.High, true)
+				if err != nil {
+					return err
+				}
+				if maxHi > -boundEps {
+					if err := r.updateRankOriginal(e.Child, cb, lower, upper); err != nil {
+						return err
+					}
+				}
+			}
+			if *lower > r.opts.K {
+				return nil
+			}
+			continue
+		}
+		if r.rankSkip[e.RecordID] {
+			continue
+		}
+		if err := r.recordDecideOriginal(r.tree.Records[e.RecordID], cb, lower, upper); err != nil {
+			return err
+		}
+		if *lower > r.opts.K {
+			return nil
+		}
+	}
+	return nil
+}
+
+func (r *runner) recordDecideOriginal(rec geom.Vector, cb *cellBounds, lower, upper *int) error {
+	minD, err := r.diffInterval(cb, rec, false)
+	if err != nil {
+		return err
+	}
+	if minD > boundEps {
+		*lower++
+		*upper++
+		return nil
+	}
+	maxD, err := r.diffInterval(cb, rec, true)
+	if err != nil {
+		return err
+	}
+	if maxD > -boundEps {
+		*upper++
+	}
+	return nil
+}
+
+// scoreInterval returns [min, max] of obj·w + c over the cell closure.
+func (r *runner) scoreInterval(cons []geom.Constraint, obj geom.Vector, c float64, stats *lp.Stats) (float64, float64, error) {
+	lo, _, st, err := lp.Bound(cons, obj, false, stats)
+	if err != nil {
+		return 0, 0, err
+	}
+	if st != lp.Optimal {
+		return 0, 0, errStatus(st)
+	}
+	hi, _, st, err := lp.Bound(cons, obj, true, stats)
+	if err != nil {
+		return 0, 0, err
+	}
+	if st != lp.Optimal {
+		return 0, 0, errStatus(st)
+	}
+	return lo + c, hi + c, nil
+}
+
+type errStatus lp.Status
+
+func (e errStatus) Error() string { return "core: score-bound LP " + lp.Status(e).String() }
+
+// cornerVectors computes the min-vector wL and max-vector wU of a cell
+// (§6.3): original-space weight vectors such that for every record r and
+// every w in the cell, S(r, wL) <= S(r, w) <= S(r, wU). Component j < d-1
+// is the min/max of w_j over the cell; the last component is the min/max of
+// w_d = 1 - Σ w_j, i.e. one minus the opposite bound of the sum.
+func (r *runner) cornerVectors(cb *cellBounds) (geom.Vector, geom.Vector, error) {
+	d := r.tree.Dim
+	wL := make(geom.Vector, d)
+	wU := make(geom.Vector, d)
+	axis := make(geom.Vector, r.dim)
+	for j := 0; j < r.dim; j++ {
+		for i := range axis {
+			axis[i] = 0
+		}
+		axis[j] = 1
+		lo, hi, err := r.interval(cb, axis, 0)
+		if err != nil {
+			return nil, nil, err
+		}
+		wL[j], wU[j] = lo, hi
+	}
+	ones := make(geom.Vector, r.dim)
+	for i := range ones {
+		ones[i] = 1
+	}
+	sumLo, sumHi, err := r.interval(cb, ones, 0)
+	if err != nil {
+		return nil, nil, err
+	}
+	wL[d-1], wU[d-1] = 1-sumHi, 1-sumLo
+	return wL, wU, nil
+}
+
+// recordObj returns the score objective of a data-space vector v in the
+// processing space, as (objective, constant).
+func (r *runner) recordObj(v geom.Vector) (geom.Vector, float64) {
+	if r.opts.Space == Original {
+		return v, 0
+	}
+	d := r.tree.Dim
+	obj := make(geom.Vector, r.dim)
+	for j := 0; j < r.dim; j++ {
+		obj[j] = v[j] - v[d-1]
+	}
+	return obj, v[d-1]
+}
+
+// updateRank is Algorithm 3's UpdateRank: traverse the aggregate R-tree,
+// comparing each entry's score interval in the cell against the focal
+// interval, with the fast bounds as a filtering step.
+func (r *runner) updateRank(n *rtree.Node, cb *cellBounds, lower, upper *int) error {
+	if *lower > r.opts.K {
+		return nil // already prunable; no need to tighten further
+	}
+	for i := range n.Entries {
+		e := &n.Entries[i]
+		if e.Child != nil {
+			decided, err := r.groupDecide(e, cb, lower, upper)
+			if err != nil {
+				return err
+			}
+			if !decided {
+				if err := r.updateRank(e.Child, cb, lower, upper); err != nil {
+					return err
+				}
+			}
+			if *lower > r.opts.K {
+				return nil
+			}
+			continue
+		}
+		if r.rankSkip[e.RecordID] {
+			continue
+		}
+		if err := r.recordDecide(r.tree.Records[e.RecordID], cb, lower, upper); err != nil {
+			return err
+		}
+		if *lower > r.opts.K {
+			return nil
+		}
+	}
+	return nil
+}
+
+// groupDecide tries to classify an entire subtree against the focal score
+// interval. It returns true when the subtree was fully accounted for.
+func (r *runner) groupDecide(e *rtree.Entry, cb *cellBounds, lower, upper *int) (bool, error) {
+	// Fast filtering step (§6.3).
+	if cb.useFast {
+		fastLo := cb.wL.Dot(e.Low)
+		fastHi := cb.wU.Dot(e.High)
+		if done := applyInterval(fastLo, fastHi, e.Count, cb, lower, upper); done {
+			return true, nil
+		}
+	}
+	// Tight group bounds (§6.2): interval of S over [GL, GU] across the cell.
+	loObj, loC := r.recordObj(e.Low)
+	hiObj, hiC := r.recordObj(e.High)
+	if cb.verts != nil {
+		gLo, _ := intervalOverVertices(cb.verts, loObj, loC)
+		_, gHi := intervalOverVertices(cb.verts, hiObj, hiC)
+		return applyInterval(gLo, gHi, e.Count, cb, lower, upper), nil
+	}
+	gLo, _, st, err := lp.Bound(cb.cons, loObj, false, cb.stats)
+	if err != nil {
+		return false, err
+	}
+	if st != lp.Optimal {
+		return false, errStatus(st)
+	}
+	gHi, _, st, err := lp.Bound(cb.cons, hiObj, true, cb.stats)
+	if err != nil {
+		return false, err
+	}
+	if st != lp.Optimal {
+		return false, errStatus(st)
+	}
+	return applyInterval(gLo+loC, gHi+hiC, e.Count, cb, lower, upper), nil
+}
+
+// applyInterval implements the three decisive outcomes of Algorithm 3 for a
+// group with score interval [lo, hi] and cardinality count:
+//
+//   - lo > pMax: every record outscores p everywhere in the cell — both
+//     bounds advance;
+//   - hi < pMin: no record ever outscores p — the group is irrelevant;
+//   - [lo, hi] inside [pMin, pMax]: records can never beat p everywhere,
+//     but may beat it somewhere — only the upper bound advances.
+//
+// It returns false when the interval is inconclusive and the caller must
+// refine (tighter bounds or descend).
+func applyInterval(lo, hi float64, count int, cb *cellBounds, lower, upper *int) bool {
+	switch {
+	case lo > cb.pMax+boundEps:
+		*lower += count
+		*upper += count
+		return true
+	case hi < cb.pMin-boundEps:
+		return true
+	case lo >= cb.pMin-boundEps && hi <= cb.pMax+boundEps:
+		*upper += count
+		return true
+	default:
+		return false
+	}
+}
+
+// recordDecide classifies a single record: fast filter first, then tight
+// per-record score bounds (§6.1).
+func (r *runner) recordDecide(rec geom.Vector, cb *cellBounds, lower, upper *int) error {
+	if cb.useFast {
+		fastLo := cb.wL.Dot(rec)
+		fastHi := cb.wU.Dot(rec)
+		if applyInterval(fastLo, fastHi, 1, cb, lower, upper) {
+			return nil
+		}
+	}
+	obj, c := r.recordObj(rec)
+	rLo, rHi, err := r.interval(cb, obj, c)
+	if err != nil {
+		return err
+	}
+	if !applyInterval(rLo, rHi, 1, cb, lower, upper) {
+		// Tight bounds straddle the focal interval: the record may or may
+		// not beat p depending on w — count it toward the worst case only.
+		*upper++
+	}
+	return nil
+}
+
+// rankBoundsByRecords is the record_bounds ablation (§6.1 without the
+// index): exact per-record score intervals for every record.
+func (r *runner) rankBoundsByRecords(cb *cellBounds) (int, int, error) {
+	lower, upper := 1, 1
+	for id, rec := range r.tree.Records {
+		if r.rankSkip[id] {
+			continue
+		}
+		if err := r.recordDecide(rec, cb, &lower, &upper); err != nil {
+			return 0, 0, err
+		}
+		if lower > r.opts.K {
+			// Enough to prune; bail out early like the traversal does.
+			return lower, upper, nil
+		}
+	}
+	return lower, upper, nil
+}

@@ -1,0 +1,459 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/geom"
+	"repro/internal/rtree"
+)
+
+// bruteRank computes the rank of focal under the lifted weight vector w
+// (original d-dimensional weights): 1 + number of records scoring strictly
+// higher. Records equal to focal (ties) and the focal itself are ignored,
+// matching the paper's tie handling. It reports ok=false when some score is
+// within eps of the focal score (the point is too close to a boundary for a
+// reliable oracle).
+func bruteRank(recs []geom.Vector, focal geom.Vector, focalID int, w geom.Vector, eps float64) (int, bool) {
+	ps := focal.Dot(w)
+	rank := 1
+	for id, rec := range recs {
+		if id == focalID || rec.Equal(focal) {
+			continue
+		}
+		diff := rec.Dot(w) - ps
+		if math.Abs(diff) < eps {
+			return 0, false
+		}
+		if diff > 0 {
+			rank++
+		}
+	}
+	return rank, true
+}
+
+func randSimplexPoint(rng *rand.Rand, dPref int) geom.Vector {
+	raw := make([]float64, dPref+1)
+	var sum float64
+	for i := range raw {
+		raw[i] = rng.ExpFloat64() + 1e-9
+		sum += raw[i]
+	}
+	w := make(geom.Vector, dPref)
+	for i := range w {
+		w[i] = raw[i] / sum
+	}
+	return w
+}
+
+// checkOracle verifies the defining property of a kSPR result: a weight
+// vector is inside some region iff the focal record ranks within the top k
+// there. Regions may be expressed in either space.
+func checkOracle(t *testing.T, res *Result, recs []geom.Vector, focal geom.Vector, focalID, k int, rng *rand.Rand, samples int) {
+	t.Helper()
+	dPref := len(focal) - 1
+	for s := 0; s < samples; s++ {
+		wt := randSimplexPoint(rng, dPref)
+		w := geom.Lift(wt)
+		rank, ok := bruteRank(recs, focal, focalID, w, 1e-9)
+		if !ok {
+			continue
+		}
+		probe := wt
+		if res.Space == Original {
+			probe = w
+		}
+		in := res.ContainsWeight(probe, 1e-9)
+		// Points within tolerance of a region boundary can legitimately
+		// flip; retest with a strict margin before failing.
+		if in != (rank <= k) {
+			if res.ContainsWeight(probe, 1e-6) != res.ContainsWeight(probe, -1e-6) {
+				continue // too close to a boundary to judge
+			}
+			t.Fatalf("oracle violation at wt=%v: rank=%d k=%d inRegions=%v (algo=%v space=%v)",
+				wt, rank, k, in, res.Stats, res.Space)
+		}
+	}
+}
+
+func buildIND(t *testing.T, n, d int, seed int64) (*rtree.Tree, []geom.Vector) {
+	t.Helper()
+	ds, err := dataset.Generate(dataset.Independent, n, d, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := rtree.Build(ds.Records, rtree.WithFanout(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr, ds.Records
+}
+
+func TestRunValidation(t *testing.T) {
+	tr, _ := buildIND(t, 10, 3, 1)
+	if _, err := Run(tr, geom.Vector{0.5, 0.5, 0.5}, -1, Options{K: 0}); err == nil {
+		t.Fatal("expected error for K=0")
+	}
+	if _, err := Run(tr, geom.Vector{0.5, 0.5}, -1, Options{K: 1}); err == nil {
+		t.Fatal("expected error for dim mismatch")
+	}
+}
+
+func TestOracleAllAlgorithmsTransformed(t *testing.T) {
+	rng := rand.New(rand.NewSource(500))
+	for _, algo := range []Algorithm{CTA, PCTA, LPCTA, KSkybandCTA} {
+		for _, d := range []int{2, 3, 4} {
+			n := 60
+			tr, recs := buildIND(t, n, d, int64(d)*17)
+			focalID := rng.Intn(n)
+			k := 1 + rng.Intn(6)
+			res, err := Run(tr, recs[focalID], focalID, Options{K: k, Algorithm: algo})
+			if err != nil {
+				t.Fatalf("%v d=%d: %v", algo, d, err)
+			}
+			checkOracle(t, res, recs, recs[focalID], focalID, k, rng, 300)
+		}
+	}
+}
+
+func TestOracleOriginalSpace(t *testing.T) {
+	rng := rand.New(rand.NewSource(700))
+	for _, algo := range []Algorithm{PCTA, LPCTA} {
+		for _, d := range []int{2, 3} {
+			n := 50
+			tr, recs := buildIND(t, n, d, int64(d)*29)
+			focalID := rng.Intn(n)
+			k := 1 + rng.Intn(5)
+			res, err := Run(tr, recs[focalID], focalID, Options{K: k, Algorithm: algo, Space: Original})
+			if err != nil {
+				t.Fatalf("O%v d=%d: %v", algo, d, err)
+			}
+			if res.Space != Original {
+				t.Fatal("result space not original")
+			}
+			checkOracle(t, res, recs, recs[focalID], focalID, k, rng, 200)
+		}
+	}
+}
+
+func TestOracleAcrossDistributions(t *testing.T) {
+	rng := rand.New(rand.NewSource(900))
+	for _, dist := range []dataset.Distribution{dataset.Independent, dataset.Correlated, dataset.Anticorrelated} {
+		ds, err := dataset.Generate(dist, 80, 3, 11)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, err := rtree.Build(ds.Records, rtree.WithFanout(16))
+		if err != nil {
+			t.Fatal(err)
+		}
+		focalID := 7
+		res, err := Run(tr, ds.Records[focalID], focalID, Options{K: 5, Algorithm: LPCTA})
+		if err != nil {
+			t.Fatalf("%s: %v", dist, err)
+		}
+		checkOracle(t, res, ds.Records, ds.Records[focalID], focalID, 5, rng, 300)
+	}
+}
+
+func TestEmptyResultWhenDominatedByK(t *testing.T) {
+	// Focal record dominated by 3 records; k=2 -> empty result.
+	recs := []geom.Vector{
+		{0.9, 0.9}, {0.8, 0.95}, {0.95, 0.8},
+		{0.5, 0.5}, // focal
+		{0.1, 0.2},
+	}
+	tr, err := rtree.Build(recs, rtree.WithFanout(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, algo := range []Algorithm{CTA, PCTA, LPCTA} {
+		res, err := Run(tr, recs[3], 3, Options{K: 2, Algorithm: algo})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Regions) != 0 {
+			t.Fatalf("%v: got %d regions, want empty", algo, len(res.Regions))
+		}
+		if res.Stats.BaseRank != 3 {
+			t.Fatalf("%v: BaseRank = %d, want 3", algo, res.Stats.BaseRank)
+		}
+	}
+}
+
+func TestWholeSpaceWhenKGEQN(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	tr, recs := buildIND(t, 20, 3, 3)
+	focalID := 4
+	res, err := Run(tr, recs[focalID], focalID, Options{K: 25, Algorithm: LPCTA})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every weight vector must be covered: rank can never exceed n <= k.
+	for s := 0; s < 200; s++ {
+		wt := randSimplexPoint(rng, 2)
+		if !res.ContainsWeight(wt, 1e-9) {
+			t.Fatalf("weight %v not covered although k >= n", wt)
+		}
+	}
+}
+
+func TestTiesAreIgnored(t *testing.T) {
+	// Two records identical to the focal one must not affect its rank.
+	recs := []geom.Vector{
+		{0.5, 0.5, 0.5}, // focal
+		{0.5, 0.5, 0.5}, // tie
+		{0.5, 0.5, 0.5}, // tie
+		{0.9, 0.1, 0.4},
+		{0.1, 0.9, 0.4},
+	}
+	tr, err := rtree.Build(recs, rtree.WithFanout(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(tr, recs[0], 0, Options{K: 1, Algorithm: LPCTA})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	checkOracle(t, res, recs, recs[0], 0, 1, rng, 300)
+}
+
+func TestFocalNotInDataset(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	tr, recs := buildIND(t, 50, 3, 13)
+	focal := geom.Vector{0.6, 0.55, 0.5}
+	res, err := Run(tr, focal, -1, Options{K: 4, Algorithm: LPCTA})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkOracle(t, res, recs, focal, -1, 4, rng, 300)
+}
+
+func TestAlgorithmsAgreeOnVolume(t *testing.T) {
+	tr, recs := buildIND(t, 70, 3, 23)
+	focalID := 11
+	var vols []float64
+	for _, algo := range []Algorithm{CTA, PCTA, LPCTA, KSkybandCTA} {
+		res, err := Run(tr, recs[focalID], focalID, Options{
+			K: 4, Algorithm: algo, ComputeVolumes: true, VolumeSamples: 4000, Seed: 7,
+		})
+		if err != nil {
+			t.Fatalf("%v: %v", algo, err)
+		}
+		vols = append(vols, res.TotalVolume())
+	}
+	for i := 1; i < len(vols); i++ {
+		if math.Abs(vols[i]-vols[0]) > 0.02*(1+vols[0]) {
+			t.Fatalf("volumes disagree: %v", vols)
+		}
+	}
+}
+
+func TestProgressiveCallback(t *testing.T) {
+	tr, recs := buildIND(t, 80, 3, 29)
+	var streamed int
+	res, err := Run(tr, recs[3], 3, Options{
+		K: 5, Algorithm: LPCTA,
+		OnRegion: func(Region) { streamed++ },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if streamed != len(res.Regions) {
+		t.Fatalf("callback saw %d regions, result has %d", streamed, len(res.Regions))
+	}
+}
+
+func TestPCTAProcessesFewerRecordsThanCTA(t *testing.T) {
+	tr, recs := buildIND(t, 400, 4, 37)
+	focalID := 17
+	opts := Options{K: 5}
+	opts.Algorithm = CTA
+	ctaRes, err := Run(tr, recs[focalID], focalID, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Algorithm = PCTA
+	pctaRes, err := Run(tr, recs[focalID], focalID, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Algorithm = KSkybandCTA
+	bandRes, err := Run(tr, recs[focalID], focalID, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pctaRes.Stats.ProcessedRecords >= ctaRes.Stats.ProcessedRecords {
+		t.Fatalf("P-CTA processed %d records, CTA %d — pruning ineffective",
+			pctaRes.Stats.ProcessedRecords, ctaRes.Stats.ProcessedRecords)
+	}
+	if pctaRes.Stats.ProcessedRecords > bandRes.Stats.ProcessedRecords {
+		t.Fatalf("P-CTA processed %d > k-skyband %d", pctaRes.Stats.ProcessedRecords, bandRes.Stats.ProcessedRecords)
+	}
+	// Lemma 6: P-CTA never processes a record dominated by k or more others.
+	if bandRes.Stats.ProcessedRecords >= ctaRes.Stats.ProcessedRecords {
+		t.Fatalf("k-skyband %d >= CTA %d", bandRes.Stats.ProcessedRecords, ctaRes.Stats.ProcessedRecords)
+	}
+}
+
+func TestLPCTAEarlyDecisions(t *testing.T) {
+	tr, recs := buildIND(t, 400, 4, 43)
+	// Use a skyline record as focal so the result is non-trivial.
+	focalID := tr.Skyline(nil)[0]
+	res, err := Run(tr, recs[focalID], focalID, Options{K: 5, Algorithm: LPCTA})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.RankBoundCells == 0 {
+		t.Fatal("LP-CTA computed no rank bounds")
+	}
+	if res.Stats.EarlyReported+res.Stats.EarlyPruned == 0 {
+		t.Fatal("look-ahead bounds never decided a cell")
+	}
+}
+
+func TestFinalizedGeometryMatchesConstraints(t *testing.T) {
+	tr, recs := buildIND(t, 60, 3, 47)
+	res, err := Run(tr, recs[5], 5, Options{K: 3, Algorithm: LPCTA, FinalizeGeometry: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Regions) == 0 {
+		t.Skip("empty result for this focal record")
+	}
+	for _, reg := range res.Regions {
+		if len(reg.Vertices) < 3 {
+			t.Fatalf("region with %d vertices in 2-d preference space", len(reg.Vertices))
+		}
+		for _, v := range reg.Vertices {
+			if !reg.Contains(v, 1e-6) {
+				t.Fatalf("vertex %v outside its own region", v)
+			}
+		}
+		if reg.Witness == nil || !reg.Contains(reg.Witness, 1e-9) {
+			t.Fatalf("witness %v not inside region", reg.Witness)
+		}
+	}
+}
+
+func TestBoundsModesAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	tr, recs := buildIND(t, 120, 3, 59)
+	focalID := 21
+	var results []*Result
+	for _, mode := range []BoundsMode{FastBounds, GroupBounds, RecordBounds} {
+		res, err := Run(tr, recs[focalID], focalID, Options{K: 4, Algorithm: LPCTA, Bounds: mode})
+		if err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		results = append(results, res)
+	}
+	for _, res := range results {
+		checkOracle(t, res, recs, recs[focalID], focalID, 4, rng, 200)
+	}
+}
+
+func TestRegionRanksAreConsistent(t *testing.T) {
+	tr, recs := buildIND(t, 80, 3, 61)
+	res, err := Run(tr, recs[13], 13, Options{K: 5, Algorithm: PCTA})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, reg := range res.Regions {
+		if reg.Rank < 1 || reg.Rank > 5 {
+			t.Fatalf("region rank %d outside [1, k]", reg.Rank)
+		}
+		if reg.RankExact && reg.Witness != nil {
+			// Verify the exact rank at the witness.
+			w := geom.Lift(reg.Witness)
+			rank, ok := bruteRank(recs, recs[13], 13, w, 1e-12)
+			if ok && rank != reg.Rank {
+				t.Fatalf("region claims rank %d, witness has rank %d", reg.Rank, rank)
+			}
+		}
+	}
+}
+
+func TestParallelBoundsMatchSerial(t *testing.T) {
+	tr, recs := buildIND(t, 600, 4, 67)
+	focalID := tr.Skyline(nil)[0]
+	serial, err := Run(tr, recs[focalID], focalID, Options{K: 8, Algorithm: LPCTA})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := Run(tr, recs[focalID], focalID, Options{K: 8, Algorithm: LPCTA, Parallel: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial.Regions) != len(parallel.Regions) {
+		t.Fatalf("serial %d regions, parallel %d", len(serial.Regions), len(parallel.Regions))
+	}
+	for i := range serial.Regions {
+		if serial.Regions[i].Rank != parallel.Regions[i].Rank {
+			t.Fatalf("region %d rank differs: %d vs %d",
+				i, serial.Regions[i].Rank, parallel.Regions[i].Rank)
+		}
+		if !serial.Regions[i].Witness.Equal(parallel.Regions[i].Witness) {
+			t.Fatalf("region %d witness differs", i)
+		}
+	}
+	if serial.Stats.EarlyReported != parallel.Stats.EarlyReported ||
+		serial.Stats.EarlyPruned != parallel.Stats.EarlyPruned {
+		t.Fatalf("decision counts differ: serial %+v parallel %+v",
+			serial.Stats, parallel.Stats)
+	}
+}
+
+func TestOracleOriginalSpaceCTAVariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(1100))
+	for _, algo := range []Algorithm{CTA, KSkybandCTA} {
+		tr, recs := buildIND(t, 40, 3, 71)
+		focalID := tr.Skyline(nil)[0]
+		res, err := Run(tr, recs[focalID], focalID, Options{K: 3, Algorithm: algo, Space: Original})
+		if err != nil {
+			t.Fatalf("O-%v: %v", algo, err)
+		}
+		checkOracle(t, res, recs, recs[focalID], focalID, 3, rng, 200)
+	}
+}
+
+func TestStatsElapsedAndRegions(t *testing.T) {
+	tr, recs := buildIND(t, 60, 3, 73)
+	focalID := tr.Skyline(nil)[0]
+	res, err := Run(tr, recs[focalID], focalID, Options{K: 3, Algorithm: LPCTA})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Elapsed <= 0 {
+		t.Fatal("Elapsed not recorded")
+	}
+	if res.Stats.Regions != len(res.Regions) {
+		t.Fatalf("Stats.Regions %d != len(Regions) %d", res.Stats.Regions, len(res.Regions))
+	}
+	if res.Stats.CellTreeNodes <= 0 {
+		t.Fatal("CellTreeNodes not recorded")
+	}
+}
+
+func TestAlgorithmStringer(t *testing.T) {
+	for algo, want := range map[Algorithm]string{
+		CTA: "CTA", PCTA: "P-CTA", LPCTA: "LP-CTA", KSkybandCTA: "k-skyband",
+	} {
+		if algo.String() != want {
+			t.Fatalf("%d.String() = %q, want %q", algo, algo.String(), want)
+		}
+	}
+	if Algorithm(99).String() == "" {
+		t.Fatal("unknown algorithm must still format")
+	}
+	if Transformed.String() != "transformed" || Original.String() != "original" {
+		t.Fatal("Space.String broken")
+	}
+	if FastBounds.String() != "fast_bounds" || GroupBounds.String() != "group_bounds" ||
+		RecordBounds.String() != "record_bounds" {
+		t.Fatal("BoundsMode.String broken")
+	}
+}

@@ -1,0 +1,59 @@
+package core
+
+import (
+	"repro/internal/celltree"
+	"repro/internal/polytope"
+)
+
+// emit converts a CellTree leaf into a result Region, optionally
+// materializing its exact geometry (the paper's finalization step at the
+// end of §4.2 — the only place exact halfspace intersection happens), and
+// hands it to the progressive callback.
+func (r *runner) emit(leaf *celltree.Node, rank int, exact bool) error {
+	region := Region{
+		Constraints: r.ct.PathConstraints(leaf),
+		Witness:     leaf.WStar,
+		Rank:        rank,
+		RankExact:   exact,
+	}
+	if r.opts.FinalizeGeometry || r.opts.ComputeVolumes {
+		var poly *polytope.Polytope
+		if g := leaf.Geom; g != nil {
+			// Incrementally maintained geometry: already exact.
+			poly = &polytope.Polytope{Dim: r.dim, Facets: g.Facets, Vertices: g.Verts}
+		} else {
+			var err error
+			poly, err = polytope.FromConstraints(region.Constraints, r.dim, &r.lpStats)
+			if err != nil {
+				return err
+			}
+		}
+		if r.opts.FinalizeGeometry {
+			region.Vertices = poly.Vertices
+		}
+		if r.opts.ComputeVolumes {
+			region.Volume = poly.Volume(r.opts.VolumeSamples, r.opts.Seed+int64(len(r.result.Regions)))
+		}
+	}
+	r.result.Regions = append(r.result.Regions, region)
+	if r.opts.OnRegion != nil {
+		r.opts.OnRegion(region)
+	}
+	return nil
+}
+
+// finish snapshots the statistics into the result.
+func (r *runner) finish() *Result {
+	st := &r.result.Stats
+	st.Regions = len(r.result.Regions)
+	st.LPSolves = r.lpStats.Solves
+	st.LPPivots = r.lpStats.Pivots
+	if r.ct != nil {
+		st.CellTreeNodes = r.ct.CountNodes()
+		st.FeasibilityTests = r.ct.Stats.FeasibilityTests
+		st.ConstraintRows = r.ct.Stats.ConstraintRows
+		st.WStarSkips = r.ct.Stats.WStarSkips
+		st.DomShortcuts = r.ct.Stats.DomShortcuts
+	}
+	return r.result
+}

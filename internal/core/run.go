@@ -1,0 +1,430 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/celltree"
+	"repro/internal/dominance"
+	"repro/internal/geom"
+	"repro/internal/lp"
+	"repro/internal/rtree"
+)
+
+// Run answers a kSPR query: it reports every region of the preference space
+// where focal ranks within the top opts.K records of the indexed dataset.
+// focalID is the index of the focal record inside the dataset, or -1 when
+// the focal record is not part of it.
+func Run(tree *rtree.Tree, focal geom.Vector, focalID int, opts Options) (*Result, error) {
+	if opts.K <= 0 {
+		return nil, fmt.Errorf("core: K must be positive, got %d", opts.K)
+	}
+	if len(focal) != tree.Dim {
+		return nil, fmt.Errorf("core: focal record has %d dims, index has %d", len(focal), tree.Dim)
+	}
+	if tree.Dim < 2 {
+		return nil, fmt.Errorf("core: kSPR needs at least 2 data dimensions")
+	}
+	if opts.VolumeSamples <= 0 {
+		opts.VolumeSamples = 10000
+	}
+	start := time.Now()
+	r := &runner{tree: tree, focal: focal, focalID: focalID, opts: opts}
+	res, err := r.run()
+	if err != nil {
+		return nil, err
+	}
+	res.Stats.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// runner holds the per-query state shared by the algorithm variants.
+type runner struct {
+	tree    *rtree.Tree
+	focal   geom.Vector
+	focalID int
+	opts    Options
+
+	// space geometry
+	dim    int // preference-space dimensionality (d-1 transformed, d original)
+	bounds []geom.Constraint
+
+	// dominance filtering (§3.1)
+	baseRank int          // records dominating focal: they outrank it everywhere
+	kAdj     int          // K - baseRank: threshold inside the CellTree
+	skip     map[int]bool // records excluded from hyperplane processing
+	// rankSkip excludes records that can never outscore focal from rank
+	// bound computations (focal itself, exact ties, records dominated by
+	// focal). Dominators stay IN rank bounds: they count toward K there.
+	rankSkip map[int]bool
+
+	ct      *celltree.Tree
+	lpStats lp.Stats
+
+	// score bounds machinery (per-space objective for S(p))
+	pObj   geom.Vector
+	pConst float64
+
+	result *Result
+}
+
+func (r *runner) run() (*Result, error) {
+	d := r.tree.Dim
+	excludeFocal := func(id int) bool { return id == r.focalID }
+
+	dominators := r.tree.Dominators(r.focal, excludeFocal)
+	dominated := r.tree.DominatedBy(r.focal, excludeFocal)
+	ties := r.tree.EqualTo(r.focal, excludeFocal)
+
+	r.baseRank = len(dominators)
+	r.kAdj = r.opts.K - r.baseRank
+	r.result = &Result{Focal: r.focal.Clone(), K: r.opts.K, Space: r.opts.Space}
+	r.result.Stats.BaseRank = r.baseRank
+	if r.kAdj <= 0 {
+		// p is beaten everywhere by at least K records: empty result.
+		return r.finish(), nil
+	}
+
+	r.skip = make(map[int]bool, len(dominators)+len(dominated)+len(ties)+1)
+	r.rankSkip = make(map[int]bool, len(dominated)+len(ties)+1)
+	if r.focalID >= 0 {
+		r.skip[r.focalID] = true
+		r.rankSkip[r.focalID] = true
+	}
+	for _, id := range dominators {
+		r.skip[id] = true
+	}
+	for _, id := range dominated {
+		r.skip[id] = true
+		r.rankSkip[id] = true
+	}
+	for _, id := range ties {
+		r.skip[id] = true
+		r.rankSkip[id] = true
+	}
+
+	// Space-dependent machinery.
+	switch r.opts.Space {
+	case Transformed:
+		r.dim = d - 1
+		r.bounds = geom.SpaceBoundsTransformed(r.dim)
+		r.ct = celltree.New(r.dim, r.kAdj, r.bounds, geom.SimplexCenter(r.dim), &r.lpStats)
+		r.pObj = make(geom.Vector, r.dim)
+		for j := 0; j < r.dim; j++ {
+			r.pObj[j] = r.focal[j] - r.focal[d-1]
+		}
+		r.pConst = r.focal[d-1]
+	case Original:
+		r.dim = d
+		r.bounds = geom.SpaceBoundsOriginal(d)
+		center := make(geom.Vector, d)
+		for j := range center {
+			center[j] = 0.5
+		}
+		r.ct = celltree.New(r.dim, r.kAdj, r.bounds, center, &r.lpStats)
+		r.pObj = r.focal.Clone()
+		r.pConst = 0
+	default:
+		return nil, fmt.Errorf("core: unknown space %d", r.opts.Space)
+	}
+
+	var err error
+	switch r.opts.Algorithm {
+	case CTA:
+		err = r.runCTA(r.allCandidateIDs())
+	case KSkybandCTA:
+		err = r.runCTA(r.kSkybandIDs())
+	case PCTA, LPCTA:
+		err = r.runProgressive()
+	default:
+		err = fmt.Errorf("core: unknown algorithm %d", r.opts.Algorithm)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	// Emit every surviving leaf (rank is exact there).
+	var walkErr error
+	r.ct.LiveLeaves(func(n *celltree.Node) bool {
+		rank := r.baseRank + r.ct.Rank(n)
+		if rank <= r.opts.K {
+			if err := r.emit(n, rank, true); err != nil {
+				walkErr = err
+				return false
+			}
+		}
+		return true
+	})
+	if walkErr != nil {
+		return nil, walkErr
+	}
+	return r.finish(), nil
+}
+
+// maximalPivots drops pivots dominated by other pivots: by transitivity
+// their dominance regions are subsumed, so the AnyNotDominated check is
+// unchanged while the per-entry dominance tests shrink drastically.
+func maximalPivots(ids []int, dg *dominance.Graph) []int {
+	if len(ids) <= 1 {
+		return ids
+	}
+	inSet := make(map[int]bool, len(ids))
+	for _, id := range ids {
+		inSet[id] = true
+	}
+	out := ids[:0]
+	for _, id := range ids {
+		maximal := true
+		for _, dom := range dg.Dominators(id) {
+			if inSet[dom] {
+				maximal = false
+				break
+			}
+		}
+		if maximal {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// pivotKey canonicalizes a sorted pivot id list for caching.
+func pivotKey(ids []int) string {
+	sort.Ints(ids)
+	var b []byte
+	for _, id := range ids {
+		b = appendInt(b, id)
+		b = append(b, ',')
+	}
+	return string(b)
+}
+
+func appendInt(b []byte, v int) []byte {
+	if v == 0 {
+		return append(b, '0')
+	}
+	var tmp [20]byte
+	i := len(tmp)
+	for v > 0 {
+		i--
+		tmp[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return append(b, tmp[i:]...)
+}
+
+// hyperplane maps record id to its hyperplane in the processing space.
+func (r *runner) hyperplane(id int) geom.Hyperplane {
+	rec := r.tree.Records[id]
+	if r.opts.Space == Original {
+		return geom.NewHyperplaneOriginal(id, rec, r.focal)
+	}
+	return geom.NewHyperplaneTransformed(id, rec, r.focal)
+}
+
+// allCandidateIDs returns every record that competes with focal (CTA's
+// processing order: dataset order).
+func (r *runner) allCandidateIDs() []int {
+	ids := make([]int, 0, r.tree.Len())
+	for id := range r.tree.Records {
+		if !r.skip[id] {
+			ids = append(ids, id)
+		}
+	}
+	return ids
+}
+
+// kSkybandIDs returns the K-skyband of the dataset minus skipped records
+// (Appendix B: by Lemma 6 only these can matter).
+func (r *runner) kSkybandIDs() []int {
+	band := r.tree.KSkyband(r.opts.K, func(id int) bool { return id == r.focalID })
+	ids := band[:0]
+	for _, id := range band {
+		if !r.skip[id] {
+			ids = append(ids, id)
+		}
+	}
+	return ids
+}
+
+// runCTA inserts the given records' hyperplanes one by one (§4).
+func (r *runner) runCTA(ids []int) error {
+	for _, id := range ids {
+		if r.ct.Done() {
+			return nil
+		}
+		h := r.hyperplane(id)
+		if h.Kind != geom.Proper {
+			// Ties and constant shifts were filtered out; anything left is a
+			// degenerate duplicate — ignore it, it cannot alter any ranking.
+			continue
+		}
+		if err := r.ct.Insert(h, nil); err != nil {
+			return err
+		}
+		r.result.Stats.ProcessedRecords++
+	}
+	return nil
+}
+
+// runProgressive implements Algorithms 2 and 3: batch processing in
+// dominance order with pivot-based early reporting, plus (for LP-CTA)
+// look-ahead rank bounds on freshly created cells.
+func (r *runner) runProgressive() error {
+	dg := dominance.New()
+	processed := make(map[int]bool)
+	excludeBase := func(id int) bool { return r.skip[id] }
+
+	// Candidate index for the pivot checks: only K-skyband records can ever
+	// affect a promising cell (Lemma 6's argument extends to the
+	// reportability test: a non-skyband escapee implies either a skyband
+	// escapee or enough accounted dominators to disqualify the cell), so
+	// the AnyNotDominated traversals run over this much smaller tree.
+	candIDs := r.tree.KSkyband(r.opts.K, func(id int) bool { return id == r.focalID })
+	candRecs := make([]geom.Vector, 0, len(candIDs))
+	candOrig := make([]int, 0, len(candIDs))
+	for _, id := range candIDs {
+		if !r.skip[id] {
+			candRecs = append(candRecs, r.tree.Records[id])
+			candOrig = append(candOrig, id)
+		}
+	}
+	var candTree *rtree.Tree
+	if len(candRecs) > 0 {
+		var err error
+		candTree, err = rtree.Build(candRecs)
+		if err != nil {
+			return err
+		}
+	}
+
+	// First batch: the skyline of the competing records (Invariant 1).
+	batch := r.tree.Skyline(excludeBase)
+
+	lookahead := r.opts.Algorithm == LPCTA
+	r.ct.TakeFreshLeaves() // the root cell's bounds are trivially [1, n]
+
+	for len(batch) > 0 && !r.ct.Done() {
+		r.result.Stats.Batches++
+		sort.Ints(batch)
+		for _, id := range batch {
+			if r.ct.Done() {
+				break
+			}
+			h := r.hyperplane(id)
+			processed[id] = true
+			if h.Kind != geom.Proper {
+				continue
+			}
+			dg.Add(id, r.tree.Records[id])
+			dom := dg.Dominators(id)
+			var domSet map[int]bool
+			if len(dom) > 0 {
+				domSet = make(map[int]bool, len(dom))
+				for _, d := range dom {
+					domSet[d] = true
+				}
+			}
+			if err := r.ct.Insert(h, domSet); err != nil {
+				return err
+			}
+			r.result.Stats.ProcessedRecords++
+		}
+		if r.ct.Done() {
+			break
+		}
+
+		// LP-CTA: rank bounds for the cells created by this batch (§6.4).
+		if lookahead {
+			if err := r.boundFreshLeaves(); err != nil {
+				return err
+			}
+		} else {
+			r.ct.TakeFreshLeaves() // keep the buffer from growing
+		}
+		if r.ct.Done() {
+			break
+		}
+
+		// Pivot-based reporting and the union of non-pivots (Algorithm 2
+		// lines 13-19).
+		candUnprocessed := func(ci int) bool { return processed[candOrig[ci]] }
+		np := make(map[int]bool)
+		var reportErr error
+		var toReport, toPrune []*celltree.Node
+		// The pivot check depends only on the (maximal) pivot set, which
+		// many sibling cells share; cache it per batch.
+		checkCache := make(map[string]bool)
+		r.ct.LiveLeaves(func(c *celltree.Node) bool {
+			if r.ct.Rank(c) > r.kAdj {
+				// Rank grew past the budget through an ancestor's cover set
+				// without the leaf being revisited; it is not promising.
+				toPrune = append(toPrune, c)
+				return true
+			}
+			pivotIDs := maximalPivots(r.ct.Pivots(c), dg)
+			key := pivotKey(pivotIDs)
+			affected, seen := checkCache[key]
+			if !seen {
+				pivots := make([]geom.Vector, len(pivotIDs))
+				for i, id := range pivotIDs {
+					pivots[i] = r.tree.Records[id]
+				}
+				affected = candTree != nil && candTree.AnyNotDominated(pivots, candUnprocessed)
+				checkCache[key] = affected
+			}
+			if affected {
+				// Some unprocessed record may still affect c.
+				for _, id := range r.ct.NonPivots(c) {
+					np[id] = true
+				}
+				return true
+			}
+			toReport = append(toReport, c)
+			return true
+		})
+		for _, c := range toPrune {
+			r.ct.Prune(c)
+		}
+		for _, c := range toReport {
+			rank := r.baseRank + r.ct.Rank(c)
+			if err := r.emit(c, rank, true); err != nil {
+				reportErr = err
+				break
+			}
+			r.ct.Report(c)
+		}
+		if reportErr != nil {
+			return reportErr
+		}
+		if r.ct.Done() {
+			break
+		}
+
+		// Next batch: unprocessed records on the skyline of D minus the
+		// non-pivot union (Algorithm 2 lines 20-21).
+		sky := r.tree.Skyline(func(id int) bool { return r.skip[id] || np[id] })
+		batch = batch[:0]
+		for _, id := range sky {
+			if !processed[id] {
+				batch = append(batch, id)
+			}
+		}
+		if len(batch) == 0 {
+			// Should be impossible while live cells remain (every live cell
+			// admits an unprocessed record outside its pivots' dominance
+			// region, and such a record surfaces in the skyline of D\NP).
+			// Defensive fallback: finish exactly with plain insertion.
+			var rest []int
+			for id := range r.tree.Records {
+				if !processed[id] && !r.skip[id] {
+					rest = append(rest, id)
+				}
+			}
+			sort.Ints(rest)
+			return r.runCTA(rest)
+		}
+	}
+	return nil
+}

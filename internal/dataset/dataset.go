@@ -1,0 +1,299 @@
+// Package dataset provides the workloads of the paper's evaluation (§7.1):
+// the standard synthetic skyline benchmarks — Independent (IND), Correlated
+// (COR), and Anti-correlated (ANTI) — plus simulated stand-ins for the real
+// HOTEL, HOUSE, and NBA datasets, and CSV persistence.
+//
+// All attribute values are in [0,1] with "larger is better" semantics.
+// Every generator takes an explicit seed so experiments are reproducible.
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/geom"
+)
+
+// Distribution names a synthetic data distribution.
+type Distribution string
+
+const (
+	// Independent draws every attribute i.i.d. uniform.
+	Independent Distribution = "IND"
+	// Correlated draws attributes positively correlated through a latent
+	// quality value: records good in one dimension tend to be good in all.
+	Correlated Distribution = "COR"
+	// Anticorrelated draws attributes negatively correlated: records good
+	// in one dimension tend to be poor in others.
+	Anticorrelated Distribution = "ANTI"
+)
+
+// Dataset is a named collection of records with attribute labels.
+type Dataset struct {
+	Name       string
+	Attributes []string
+	Records    []geom.Vector
+	// Labels optionally names individual records (used by the NBA
+	// simulation for the case study); nil when records are anonymous.
+	Labels []string
+}
+
+// Dim returns the dimensionality.
+func (d *Dataset) Dim() int {
+	if len(d.Records) == 0 {
+		return 0
+	}
+	return len(d.Records[0])
+}
+
+// Len returns the cardinality.
+func (d *Dataset) Len() int { return len(d.Records) }
+
+// Generate produces n d-dimensional records of the given distribution.
+func Generate(dist Distribution, n, d int, seed int64) (*Dataset, error) {
+	if n <= 0 || d <= 0 {
+		return nil, fmt.Errorf("dataset: invalid shape n=%d d=%d", n, d)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	recs := make([]geom.Vector, n)
+	for i := range recs {
+		switch dist {
+		case Independent:
+			recs[i] = genIndependent(rng, d)
+		case Correlated:
+			recs[i] = genCorrelated(rng, d)
+		case Anticorrelated:
+			recs[i] = genAnticorrelated(rng, d)
+		default:
+			return nil, fmt.Errorf("dataset: unknown distribution %q", dist)
+		}
+	}
+	attrs := make([]string, d)
+	for j := range attrs {
+		attrs[j] = fmt.Sprintf("a%d", j+1)
+	}
+	return &Dataset{Name: string(dist), Attributes: attrs, Records: recs}, nil
+}
+
+func genIndependent(rng *rand.Rand, d int) geom.Vector {
+	v := make(geom.Vector, d)
+	for j := range v {
+		v[j] = rng.Float64()
+	}
+	return v
+}
+
+// genCorrelated follows the classic Börzsönyi construction: pick a latent
+// level on the diagonal (peaked around 0.5) and scatter tightly around it.
+func genCorrelated(rng *rand.Rand, d int) geom.Vector {
+	level := clamp01(0.5 + 0.17*rng.NormFloat64())
+	v := make(geom.Vector, d)
+	for j := range v {
+		v[j] = clamp01(level + 0.05*rng.NormFloat64())
+	}
+	return v
+}
+
+// genAnticorrelated places records close to the anti-diagonal plane
+// Σ x_j ≈ d·level with large spread across dimensions: gains in one
+// dimension are paid for in the others.
+func genAnticorrelated(rng *rand.Rand, d int) geom.Vector {
+	level := clamp01in(0.5+0.04*rng.NormFloat64(), 0.25, 0.75)
+	v := make(geom.Vector, d)
+	u := make([]float64, d)
+	var mean float64
+	for j := range u {
+		u[j] = rng.Float64()
+		mean += u[j]
+	}
+	mean /= float64(d)
+	for j := range v {
+		v[j] = clamp01(level + 0.6*(u[j]-mean))
+	}
+	return v
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+func clamp01in(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+// Hotel simulates the HOTEL dataset (4-d: stars, price value, rooms,
+// facilities; 418,843 records at full scale — hotels-base.com in the
+// paper). A latent quality factor couples stars and facilities, while the
+// price-value attribute (higher = cheaper for what you get) mildly opposes
+// them, giving a realistic mixed-correlation profile.
+func Hotel(n int, seed int64) *Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	recs := make([]geom.Vector, n)
+	for i := range recs {
+		q := rng.Float64() // latent quality
+		stars := clamp01(snap(q+0.1*rng.NormFloat64(), 5))
+		price := clamp01(1 - q + 0.25*rng.NormFloat64()) // good value anti-correlates with quality
+		rooms := clamp01(0.2 + 0.6*rng.Float64() + 0.2*q)
+		fac := clamp01(q + 0.15*rng.NormFloat64())
+		recs[i] = geom.Vector{stars, price, rooms, fac}
+	}
+	return &Dataset{
+		Name:       "HOTEL",
+		Attributes: []string{"stars", "price_value", "rooms", "facilities"},
+		Records:    recs,
+	}
+}
+
+// snap discretizes x into levels (e.g. star ratings).
+func snap(x float64, levels int) float64 {
+	if x < 0 {
+		x = 0
+	}
+	if x > 1 {
+		x = 1
+	}
+	step := 1.0 / float64(levels)
+	k := int(x / step)
+	if k >= levels {
+		k = levels - 1
+	}
+	return float64(k+1) / float64(levels)
+}
+
+// House simulates the HOUSE dataset (6-d spending attributes per American
+// family; 315,265 records at full scale — ipums.org in the paper). Values
+// are "thrift" scores (higher = lower spending in that category). A budget
+// constraint makes categories mildly anti-correlated, as households trade
+// off spending across categories.
+func House(n int, seed int64) *Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	recs := make([]geom.Vector, n)
+	for i := range recs {
+		budget := clamp01in(0.5+0.12*rng.NormFloat64(), 0.1, 0.9)
+		v := make(geom.Vector, 6)
+		u := make([]float64, 6)
+		var mean float64
+		for j := range u {
+			u[j] = rng.Float64()
+			mean += u[j]
+		}
+		mean /= 6
+		for j := range v {
+			v[j] = clamp01(budget + 0.3*(u[j]-mean) + 0.05*rng.NormFloat64())
+		}
+		recs[i] = v
+	}
+	return &Dataset{
+		Name: "HOUSE",
+		Attributes: []string{
+			"gas", "electricity", "water", "heating", "insurance", "property_tax",
+		},
+		Records: recs,
+	}
+}
+
+// NBA simulates a season of the NBA dataset (8 per-player statistics;
+// 21,960 records at full scale across seasons —
+// basketball-reference.com in the paper). Player stats share a latent
+// skill-and-minutes factor, producing the skewed, positively correlated
+// profile of real box-score data: many role players, few stars.
+//
+// The record at index 0 is a crafted star center playing the role of the
+// case study's focal player (§7.2): in season 1 his scoring is elite and
+// rebounding merely good; in season 2 the profile flips. All other records
+// are procedurally generated.
+func NBA(n int, season int, seed int64) *Dataset {
+	rng := rand.New(rand.NewSource(seed + int64(season)*1000003))
+	recs := make([]geom.Vector, n)
+	labels := make([]string, n)
+	// Attribute order follows the paper's Table 1.
+	attrs := []string{
+		"games", "rebounds", "assists", "steals", "blocks",
+		"turnovers_avoided", "fouls_avoided", "points",
+	}
+	const (
+		idxGames = 0
+		idxReb   = 1
+		idxAst   = 2
+		idxPts   = 7
+	)
+	for i := 1; i < n; i++ {
+		skill := rng.Float64()
+		minutes := clamp01(0.3 + 0.7*skill + 0.1*rng.NormFloat64())
+		v := make(geom.Vector, 8)
+		for j := range v {
+			base := skill * minutes
+			v[j] = clamp01(0.75*base + 0.25*rng.Float64())
+		}
+		// Specialize, as real rosters do: guards assist but rebound little;
+		// bigs rebound and block but score and assist less. Nobody is elite
+		// at both scoring and rebounding — that is what makes the crafted
+		// focal center stand out, as in the paper's case study.
+		if rng.Float64() < 0.45 { // guard-ish
+			v[idxAst] = clamp01(v[idxAst] + 0.35*skill)
+			v[idxReb] *= 0.5
+			v[4] *= 0.5 // blocks
+		} else { // big-ish
+			v[idxReb] = clamp01(v[idxReb] + 0.3*skill)
+			v[4] = clamp01(v[4] + 0.25*skill)
+			v[idxAst] *= 0.5
+			v[idxPts] *= 0.8
+		}
+		// League-best caps: the crafted focal center leads the league in
+		// points (season 1) or rebounds (season 2); everyone else tops out
+		// just below, the way a single player leads a real statistic.
+		const leagueBest = 0.94
+		if v[idxPts] > leagueBest {
+			v[idxPts] = leagueBest - 0.02*rng.Float64()
+		}
+		if v[idxReb] > leagueBest {
+			v[idxReb] = leagueBest - 0.02*rng.Float64()
+		}
+		recs[i] = v
+		labels[i] = fmt.Sprintf("player-%d", i)
+	}
+	// The focal star center. Season 1: points-dominant. Season 2:
+	// rebounds-dominant. Other stats are league-average-ish.
+	focal := geom.Vector{0.95, 0.68, 0.35, 0.45, 0.85, 0.40, 0.45, 0.97}
+	if season == 2 {
+		focal = geom.Vector{0.95, 0.97, 0.30, 0.45, 0.88, 0.45, 0.40, 0.75}
+	}
+	recs[0] = focal
+	labels[0] = "star-center"
+	return &Dataset{
+		Name:       fmt.Sprintf("NBA-season%d", season),
+		Attributes: attrs,
+		Records:    recs,
+		Labels:     labels,
+	}
+}
+
+// Restaurants returns the toy dataset of the paper's Figure 1 (values on a
+// 1-10 scale, normalized to [0,1]): five restaurants with value, service,
+// and ambiance ratings; "Kyma" (index 4) is the running focal record.
+func Restaurants() *Dataset {
+	return &Dataset{
+		Name:       "restaurants",
+		Attributes: []string{"value", "service", "ambiance"},
+		Records: []geom.Vector{
+			{0.3, 0.8, 0.8}, // r1 L'Entrecôte
+			{0.9, 0.4, 0.4}, // r2 Beirut Grill
+			{0.8, 0.3, 0.4}, // r3 El Coyote
+			{0.4, 0.3, 0.6}, // r4 La Braceria
+			{0.5, 0.5, 0.7}, // p  Kyma
+		},
+		Labels: []string{"L'Entrecôte", "Beirut Grill", "El Coyote", "La Braceria", "Kyma"},
+	}
+}

@@ -1,0 +1,255 @@
+package dataset
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func TestGenerateShapesAndRange(t *testing.T) {
+	for _, dist := range []Distribution{Independent, Correlated, Anticorrelated} {
+		ds, err := Generate(dist, 500, 4, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", dist, err)
+		}
+		if ds.Len() != 500 || ds.Dim() != 4 {
+			t.Fatalf("%s: shape %dx%d", dist, ds.Len(), ds.Dim())
+		}
+		for i, r := range ds.Records {
+			for j, v := range r {
+				if v < 0 || v > 1 {
+					t.Fatalf("%s: record %d attr %d = %v out of [0,1]", dist, i, j, v)
+				}
+			}
+		}
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	if _, err := Generate(Independent, 0, 3, 1); err == nil {
+		t.Fatal("expected error for n=0")
+	}
+	if _, err := Generate("weird", 10, 3, 1); err == nil {
+		t.Fatal("expected error for unknown distribution")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, _ := Generate(Independent, 100, 3, 42)
+	b, _ := Generate(Independent, 100, 3, 42)
+	for i := range a.Records {
+		if !a.Records[i].Equal(b.Records[i]) {
+			t.Fatal("same seed produced different data")
+		}
+	}
+	c, _ := Generate(Independent, 100, 3, 43)
+	same := true
+	for i := range a.Records {
+		if !a.Records[i].Equal(c.Records[i]) {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical data")
+	}
+}
+
+// pearson computes the correlation of two attribute columns.
+func pearson(recs []geom.Vector, a, b int) float64 {
+	n := float64(len(recs))
+	var ma, mb float64
+	for _, r := range recs {
+		ma += r[a]
+		mb += r[b]
+	}
+	ma /= n
+	mb /= n
+	var cov, va, vb float64
+	for _, r := range recs {
+		cov += (r[a] - ma) * (r[b] - mb)
+		va += (r[a] - ma) * (r[a] - ma)
+		vb += (r[b] - mb) * (r[b] - mb)
+	}
+	return cov / math.Sqrt(va*vb)
+}
+
+func TestDistributionsHaveExpectedCorrelation(t *testing.T) {
+	ind, _ := Generate(Independent, 5000, 3, 7)
+	cor, _ := Generate(Correlated, 5000, 3, 7)
+	anti, _ := Generate(Anticorrelated, 5000, 3, 7)
+	if r := pearson(ind.Records, 0, 1); math.Abs(r) > 0.1 {
+		t.Fatalf("IND correlation %v, want ~0", r)
+	}
+	if r := pearson(cor.Records, 0, 1); r < 0.5 {
+		t.Fatalf("COR correlation %v, want strongly positive", r)
+	}
+	if r := pearson(anti.Records, 0, 1); r > -0.2 {
+		t.Fatalf("ANTI correlation %v, want negative", r)
+	}
+}
+
+func TestHotelHouseNBAShapes(t *testing.T) {
+	h := Hotel(1000, 1)
+	if h.Dim() != 4 || h.Len() != 1000 || len(h.Attributes) != 4 {
+		t.Fatalf("HOTEL shape wrong: %dx%d", h.Len(), h.Dim())
+	}
+	ho := House(1000, 1)
+	if ho.Dim() != 6 || len(ho.Attributes) != 6 {
+		t.Fatalf("HOUSE shape wrong: %dx%d", ho.Len(), ho.Dim())
+	}
+	nba := NBA(500, 1, 1)
+	if nba.Dim() != 8 || len(nba.Attributes) != 8 {
+		t.Fatalf("NBA shape wrong: %dx%d", nba.Len(), nba.Dim())
+	}
+	if nba.Labels[0] != "star-center" {
+		t.Fatalf("focal player label %q", nba.Labels[0])
+	}
+	for _, ds := range []*Dataset{h, ho, nba} {
+		for i, r := range ds.Records {
+			for j, v := range r {
+				if v < 0 || v > 1 {
+					t.Fatalf("%s record %d attr %d = %v out of range", ds.Name, i, j, v)
+				}
+			}
+		}
+	}
+}
+
+func TestNBASeasonsDifferForFocalPlayer(t *testing.T) {
+	s1 := NBA(100, 1, 5)
+	s2 := NBA(100, 2, 5)
+	// points (index 7) strong in season 1, rebounds (index 1) strong in 2.
+	if !(s1.Records[0][7] > s2.Records[0][7]) {
+		t.Fatal("focal player should score more in season 1")
+	}
+	if !(s2.Records[0][1] > s1.Records[0][1]) {
+		t.Fatal("focal player should rebound more in season 2")
+	}
+}
+
+func TestRestaurantsMatchesPaperFigure1(t *testing.T) {
+	ds := Restaurants()
+	if ds.Len() != 5 || ds.Dim() != 3 {
+		t.Fatalf("restaurants shape %dx%d", ds.Len(), ds.Dim())
+	}
+	kyma := ds.Records[4]
+	if !kyma.Equal(geom.Vector{0.5, 0.5, 0.7}) {
+		t.Fatalf("Kyma = %v", kyma)
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	orig := NBA(50, 1, 9)
+	var buf bytes.Buffer
+	if err := orig.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf, "roundtrip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != orig.Len() || got.Dim() != orig.Dim() {
+		t.Fatalf("round-trip shape %dx%d, want %dx%d", got.Len(), got.Dim(), orig.Len(), orig.Dim())
+	}
+	for i := range got.Records {
+		if !got.Records[i].Equal(orig.Records[i]) {
+			t.Fatalf("record %d: %v != %v", i, got.Records[i], orig.Records[i])
+		}
+		if got.Labels[i] != orig.Labels[i] {
+			t.Fatalf("label %d: %q != %q", i, got.Labels[i], orig.Labels[i])
+		}
+	}
+	for j := range got.Attributes {
+		if got.Attributes[j] != orig.Attributes[j] {
+			t.Fatal("attributes lost in round trip")
+		}
+	}
+}
+
+func TestCSVWithoutLabels(t *testing.T) {
+	orig, _ := Generate(Independent, 20, 3, 2)
+	var buf bytes.Buffer
+	if err := orig.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf, "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Labels != nil {
+		t.Fatal("labels appeared from nowhere")
+	}
+	if got.Len() != 20 {
+		t.Fatalf("len %d", got.Len())
+	}
+}
+
+func TestCSVMalformed(t *testing.T) {
+	if _, err := ReadCSV(bytes.NewBufferString("a,b\n1,notanumber\n"), "x"); err == nil {
+		t.Fatal("expected parse error")
+	}
+	if _, err := ReadCSV(bytes.NewBufferString(""), "x"); err == nil {
+		t.Fatal("expected header error on empty input")
+	}
+}
+
+// Skyline sizes must order ANTI > IND > COR — the structural property the
+// paper's Figure 14 rests on.
+func TestSkylineSizeOrdering(t *testing.T) {
+	sizes := map[Distribution]int{}
+	for _, dist := range []Distribution{Independent, Correlated, Anticorrelated} {
+		ds, err := Generate(dist, 3000, 4, 19)
+		if err != nil {
+			t.Fatal(err)
+		}
+		count := 0
+		for i, r := range ds.Records {
+			dominated := false
+			for j, s := range ds.Records {
+				if i != j && geom.Dominates(s, r) {
+					dominated = true
+					break
+				}
+			}
+			if !dominated {
+				count++
+			}
+		}
+		sizes[dist] = count
+	}
+	if !(sizes[Anticorrelated] > sizes[Independent] && sizes[Independent] > sizes[Correlated]) {
+		t.Fatalf("skyline sizes ANTI=%d IND=%d COR=%d violate the expected ordering",
+			sizes[Anticorrelated], sizes[Independent], sizes[Correlated])
+	}
+}
+
+func TestNBAFocalIsEliteButNotDominant(t *testing.T) {
+	for season := 1; season <= 2; season++ {
+		ds := NBA(800, season, 33)
+		focal := ds.Records[0]
+		leadIdx := 7 // points
+		if season == 2 {
+			leadIdx = 1 // rebounds
+		}
+		// The focal player must lead the league in his signature stat.
+		for i := 1; i < ds.Len(); i++ {
+			if ds.Records[i][leadIdx] >= focal[leadIdx] {
+				t.Fatalf("season %d: player %d matches the focal's signature stat", season, i)
+			}
+		}
+		// But must not dominate the league outright: someone beats him in
+		// assists (index 2), which he is weak in.
+		beaten := false
+		for i := 1; i < ds.Len(); i++ {
+			if ds.Records[i][2] > focal[2] {
+				beaten = true
+				break
+			}
+		}
+		if !beaten {
+			t.Fatalf("season %d: nobody out-assists the focal center", season)
+		}
+	}
+}

@@ -1,0 +1,81 @@
+// Package diskio simulates the disk-resident scenario of Appendix A: data
+// and index live on secondary storage, every R-tree node is one page, and a
+// random page read costs a fixed latency (0.2 ms on the paper's SSD). An
+// LRU buffer pool absorbs repeated accesses, so only cold reads are
+// charged. The Manager implements rtree.Tracker.
+package diskio
+
+import (
+	"container/list"
+	"time"
+)
+
+// DefaultPageLatency is the per-random-read cost reported in the paper.
+const DefaultPageLatency = 200 * time.Microsecond
+
+// DefaultBufferPages is the default buffer-pool capacity in pages.
+const DefaultBufferPages = 256
+
+// Manager counts simulated page reads through an LRU buffer pool.
+type Manager struct {
+	PageLatency time.Duration
+	capacity    int
+
+	lru   *list.List // front = most recently used; values are page ids
+	index map[int]*list.Element
+
+	reads  int // cold reads (charged)
+	visits int // total page visits (hits + misses)
+}
+
+// New returns a Manager with the given buffer capacity (pages) and
+// per-miss latency. Non-positive arguments select the defaults.
+func New(capacity int, latency time.Duration) *Manager {
+	if capacity <= 0 {
+		capacity = DefaultBufferPages
+	}
+	if latency <= 0 {
+		latency = DefaultPageLatency
+	}
+	return &Manager{
+		PageLatency: latency,
+		capacity:    capacity,
+		lru:         list.New(),
+		index:       make(map[int]*list.Element),
+	}
+}
+
+// Visit records an access to page; misses are counted as reads.
+// It implements rtree.Tracker.
+func (m *Manager) Visit(page int) {
+	m.visits++
+	if el, ok := m.index[page]; ok {
+		m.lru.MoveToFront(el)
+		return
+	}
+	m.reads++
+	m.index[page] = m.lru.PushFront(page)
+	if m.lru.Len() > m.capacity {
+		back := m.lru.Back()
+		m.lru.Remove(back)
+		delete(m.index, back.Value.(int))
+	}
+}
+
+// Reads returns the number of cold page reads so far.
+func (m *Manager) Reads() int { return m.reads }
+
+// Visits returns the number of page accesses so far (hits included).
+func (m *Manager) Visits() int { return m.visits }
+
+// IOTime returns the simulated time spent on cold reads.
+func (m *Manager) IOTime() time.Duration {
+	return time.Duration(m.reads) * m.PageLatency
+}
+
+// Reset clears counters and empties the buffer pool.
+func (m *Manager) Reset() {
+	m.reads, m.visits = 0, 0
+	m.lru.Init()
+	m.index = make(map[int]*list.Element)
+}

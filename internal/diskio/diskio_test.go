@@ -1,0 +1,75 @@
+package diskio
+
+import (
+	"testing"
+	"time"
+)
+
+func TestColdAndWarmReads(t *testing.T) {
+	m := New(2, time.Millisecond)
+	m.Visit(1)
+	m.Visit(2)
+	m.Visit(1) // warm
+	if m.Reads() != 2 {
+		t.Fatalf("Reads = %d, want 2", m.Reads())
+	}
+	if m.Visits() != 3 {
+		t.Fatalf("Visits = %d, want 3", m.Visits())
+	}
+	if m.IOTime() != 2*time.Millisecond {
+		t.Fatalf("IOTime = %v", m.IOTime())
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	m := New(2, time.Millisecond)
+	m.Visit(1)
+	m.Visit(2)
+	m.Visit(3) // evicts 1
+	m.Visit(1) // cold again
+	if m.Reads() != 4 {
+		t.Fatalf("Reads = %d, want 4", m.Reads())
+	}
+	// 3 was most recently used before 1; visiting 2 now must be a miss
+	// (2 was evicted when 1 came back).
+	m.Visit(2)
+	if m.Reads() != 5 {
+		t.Fatalf("Reads = %d, want 5", m.Reads())
+	}
+}
+
+func TestLRURecencyUpdate(t *testing.T) {
+	m := New(2, time.Millisecond)
+	m.Visit(1)
+	m.Visit(2)
+	m.Visit(1) // refresh 1; LRU order now [1, 2]
+	m.Visit(3) // evicts 2, not 1
+	m.Visit(1) // must be warm
+	if m.Reads() != 3 {
+		t.Fatalf("Reads = %d, want 3 (1 stayed warm)", m.Reads())
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	m := New(0, 0)
+	if m.PageLatency != DefaultPageLatency {
+		t.Fatalf("latency %v", m.PageLatency)
+	}
+	if m.capacity != DefaultBufferPages {
+		t.Fatalf("capacity %d", m.capacity)
+	}
+}
+
+func TestReset(t *testing.T) {
+	m := New(4, time.Millisecond)
+	m.Visit(1)
+	m.Visit(2)
+	m.Reset()
+	if m.Reads() != 0 || m.Visits() != 0 || m.IOTime() != 0 {
+		t.Fatal("Reset did not clear counters")
+	}
+	m.Visit(1)
+	if m.Reads() != 1 {
+		t.Fatal("Reset did not clear the buffer pool")
+	}
+}

@@ -1,0 +1,70 @@
+// Package dominance maintains the dominance graph of P-CTA (§5): as records
+// are fetched and processed, all dominance relationships between processed
+// records are recorded so that the hyperplane-insertion algorithm can skip
+// feasibility tests (the optInsert shortcut of Algorithm 2).
+package dominance
+
+import (
+	"repro/internal/geom"
+)
+
+// Graph tracks dominance relationships among a growing set of records.
+// The zero value is not usable; call New.
+type Graph struct {
+	ids  []int
+	vecs map[int]geom.Vector
+	// dominators[id] lists the processed records that dominate id.
+	dominators map[int][]int
+	// dominatees[id] lists the processed records dominated by id.
+	dominatees map[int][]int
+}
+
+// New returns an empty dominance graph.
+func New() *Graph {
+	return &Graph{
+		vecs:       make(map[int]geom.Vector),
+		dominators: make(map[int][]int),
+		dominatees: make(map[int][]int),
+	}
+}
+
+// Add inserts a record and wires its dominance edges to every record
+// already in the graph. Adding an existing id is a no-op.
+func (g *Graph) Add(id int, v geom.Vector) {
+	if _, ok := g.vecs[id]; ok {
+		return
+	}
+	for _, other := range g.ids {
+		switch geom.Compare(g.vecs[other], v) {
+		case geom.DomFirst:
+			g.dominators[id] = append(g.dominators[id], other)
+			g.dominatees[other] = append(g.dominatees[other], id)
+		case geom.DomSecond:
+			g.dominators[other] = append(g.dominators[other], id)
+			g.dominatees[id] = append(g.dominatees[id], other)
+		}
+	}
+	g.ids = append(g.ids, id)
+	g.vecs[id] = v
+}
+
+// Has reports whether id is in the graph.
+func (g *Graph) Has(id int) bool {
+	_, ok := g.vecs[id]
+	return ok
+}
+
+// Len returns the number of records in the graph.
+func (g *Graph) Len() int { return len(g.ids) }
+
+// Dominators returns the IDs of processed records that dominate id.
+// Because dominance is transitive and every dominator of a processed record
+// is processed before it (P-CTA's Invariant 1), this is the full ancestor
+// set, not just direct parents.
+func (g *Graph) Dominators(id int) []int { return g.dominators[id] }
+
+// Dominatees returns the IDs of processed records dominated by id.
+func (g *Graph) Dominatees(id int) []int { return g.dominatees[id] }
+
+// Vector returns the stored record for id (nil if absent).
+func (g *Graph) Vector(id int) geom.Vector { return g.vecs[id] }

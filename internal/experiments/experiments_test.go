@@ -1,0 +1,134 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/lp"
+)
+
+// tinyConfig keeps experiment smoke tests fast: minimal cardinalities and a
+// single query per point.
+func tinyConfig(buf *bytes.Buffer) Config {
+	return Config{Scale: 0.01, Queries: 1, Seed: 7, Out: buf}
+}
+
+func TestAllRegistered(t *testing.T) {
+	ids := map[string]bool{}
+	for _, e := range All() {
+		if e.ID == "" || e.Desc == "" || e.Run == nil {
+			t.Fatalf("incomplete experiment entry %+v", e)
+		}
+		if ids[e.ID] {
+			t.Fatalf("duplicate experiment id %s", e.ID)
+		}
+		ids[e.ID] = true
+	}
+	for _, want := range []string{"table1", "table2", "fig9", "fig10a", "fig10b", "fig11",
+		"fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19",
+		"fig20", "fig22", "fig23", "fig24"} {
+		if !ids[want] {
+			t.Fatalf("experiment %s missing from registry", want)
+		}
+	}
+	if _, ok := Lookup("fig9"); !ok {
+		t.Fatal("Lookup(fig9) failed")
+	}
+	if _, ok := Lookup("nope"); ok {
+		t.Fatal("Lookup(nope) succeeded")
+	}
+}
+
+// Every experiment must run end-to-end at tiny scale and produce output.
+// The heavyweight dimensional sweeps are exercised by the selected subset
+// below; the rest run in the ksprbench binary.
+func TestExperimentsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment smoke tests are not short")
+	}
+	for _, id := range []string{"table1", "table2", "fig9", "fig10a", "fig11",
+		"fig14", "fig17", "fig20", "fig23", "fig24"} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			e, ok := Lookup(id)
+			if !ok {
+				t.Fatalf("experiment %s not registered", id)
+			}
+			var buf bytes.Buffer
+			if err := e.Run(tinyConfig(&buf)); err != nil {
+				t.Fatalf("%s: %v", id, err)
+			}
+			if !strings.Contains(buf.String(), "===") {
+				t.Fatalf("%s produced no banner:\n%s", id, buf.String())
+			}
+			if len(buf.String()) < 80 {
+				t.Fatalf("%s produced suspiciously little output:\n%s", id, buf.String())
+			}
+		})
+	}
+}
+
+func TestConfigNormalization(t *testing.T) {
+	var c Config
+	c.normalize()
+	if c.Scale != 1 || c.Queries != 3 || c.Out == nil {
+		t.Fatalf("normalize gave %+v", c)
+	}
+	if (Config{Scale: 0.001}).n(1000) < 10 {
+		t.Fatal("n() must clamp to a usable floor")
+	}
+}
+
+func TestKScaling(t *testing.T) {
+	var c Config
+	c.normalize()
+	// Large n: the full sweep survives.
+	full := c.ks(30000)
+	if len(full) != len(kSweep) {
+		t.Fatalf("ks(30000) = %v, want the full sweep", full)
+	}
+	// Tiny scale: clamped to a small k.
+	small := c.ks(200)
+	for _, k := range small {
+		if k > 10 {
+			t.Fatalf("ks(200) includes k=%d", k)
+		}
+	}
+	if len(small) == 0 {
+		t.Fatal("ks must never be empty")
+	}
+	if got := c.kDefault(20000); got != defaultK {
+		t.Fatalf("kDefault(20000) = %d, want %d", got, defaultK)
+	}
+	if got := c.kDefault(200); got > 10 || got < 5 {
+		t.Fatalf("kDefault(200) = %d out of clamp range", got)
+	}
+}
+
+func TestSampleCells(t *testing.T) {
+	cells, err := sampleCells(4, 50, 5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 5 {
+		t.Fatalf("got %d cells, want 5", len(cells))
+	}
+	for i, cell := range cells {
+		if len(cell.lemma2) > len(cell.full) {
+			t.Fatalf("cell %d: lemma2 set (%d rows) exceeds full set (%d rows)",
+				i, len(cell.lemma2), len(cell.full))
+		}
+		// Both sets must be feasible: they describe the same non-empty cell.
+		for name, cons := range map[string][]geom.Constraint{"full": cell.full, "lemma2": cell.lemma2} {
+			in, err := lp.FeasibleInterior(cons, 3, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !in.Feasible {
+				t.Fatalf("cell %d: %s constraint set infeasible", i, name)
+			}
+		}
+	}
+}

@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+)
+
+// ExtApprox is an EXTENSION experiment (not a paper figure): it evaluates
+// the approximate kSPR algorithm the paper proposes as future work (§8),
+// sweeping the accuracy target epsilon against exact LP-CTA on the same
+// workload. Reported: response time, number of certain regions, certain
+// volume, and the guaranteed uncertainty bound.
+func ExtApprox(cfg Config) error {
+	cfg.normalize()
+	w := cfg.Out
+	header(w, "ext-approx", "approximate kSPR (future work §8): epsilon sweep vs exact LP-CTA")
+	wl, err := buildWorkload(dataset.Independent, cfg.n(baseN), defaultD, cfg.Seed)
+	if err != nil {
+		return err
+	}
+	k := cfg.kDefault(wl.ds.Len())
+	focals := pickFocals(wl.ds.Len(), cfg.Queries, cfg.Seed)
+
+	exact, err := wl.measure(focals, core.Options{
+		K: k, Algorithm: core.LPCTA, FinalizeGeometry: false, ComputeVolumes: true,
+		VolumeSamples: 5000, Seed: cfg.Seed,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "exact LP-CTA (k=%d): %s s, %.1f regions\n", k, seconds(exact.Elapsed), exact.Regions)
+	fmt.Fprintf(w, "%9s %12s %10s %14s %16s %10s\n",
+		"epsilon", "time (s)", "regions", "certain vol", "uncertain vol", "converged")
+	for _, eps := range []float64{0.1, 0.05, 0.02, 0.01, 0.005} {
+		var tot time.Duration
+		var regions, certVol, uncVol float64
+		conv := true
+		for _, id := range focals {
+			start := time.Now()
+			res, err := core.RunApprox(wl.tree, wl.ds.Records[id], id, core.ApproxOptions{
+				K: k, Epsilon: eps,
+			})
+			if err != nil {
+				return err
+			}
+			tot += time.Since(start)
+			regions += float64(len(res.Regions))
+			for _, reg := range res.Regions {
+				certVol += reg.Volume
+			}
+			uncVol += res.UncertainVolume
+			conv = conv && res.Converged
+		}
+		q := float64(len(focals))
+		fmt.Fprintf(w, "%9g %12s %10.1f %14.4f %16.4f %10v\n",
+			eps, seconds(tot/time.Duration(len(focals))), regions/q, certVol/q, uncVol/q, conv)
+	}
+	return nil
+}

@@ -1,0 +1,228 @@
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Sign selects one side of a hyperplane.
+type Sign int8
+
+const (
+	// Negative selects the halfspace where the competing record scores
+	// LOWER than the focal record (good for the focal record).
+	Negative Sign = -1
+	// Positive selects the halfspace where the competing record scores
+	// HIGHER than the focal record.
+	Positive Sign = +1
+)
+
+// Opposite returns the other side.
+func (s Sign) Opposite() Sign { return -s }
+
+func (s Sign) String() string {
+	if s == Positive {
+		return "+"
+	}
+	return "-"
+}
+
+// Kind classifies how a record's hyperplane interacts with the preference
+// space as a whole. Most records produce a proper hyperplane that can cut
+// through the space; a record that differs from the focal record by a
+// constant shift produces no hyperplane at all — one of the two compares
+// wins everywhere.
+type Kind int8
+
+const (
+	// Proper means the hyperplane genuinely partitions the space.
+	Proper Kind = iota
+	// AlwaysPositive means the record outscores the focal record for every
+	// weight vector (it contributes +1 to the rank globally).
+	AlwaysPositive
+	// AlwaysNegative means the focal record outscores the record everywhere;
+	// the record is irrelevant to kSPR.
+	AlwaysNegative
+	// Tie means the two records have identical scores everywhere.
+	Tie
+)
+
+// Hyperplane is the locus S(r) = S(p) in preference space, stored as
+// Coef·w = RHS with Coef unit-normalized. The positive side Coef·w > RHS is
+// where record r outscores the focal record p.
+//
+// In the transformed space Coef has length d-1; in the original space it has
+// length d and RHS is 0 (the hyperplane passes through the origin).
+type Hyperplane struct {
+	// ID identifies the competing record that induced this hyperplane.
+	ID int
+	// Coef is the unit-normalized normal vector.
+	Coef Vector
+	// RHS is the right-hand side after normalization.
+	RHS float64
+	// Kind records degenerate cases; Coef/RHS are meaningful only for Proper.
+	Kind Kind
+}
+
+// NewHyperplaneTransformed builds the hyperplane S(r)=S(p) in the
+// transformed (d-1)-dimensional preference space:
+//
+//	Σ_{j<d} (r_j - r_d - p_j + p_d)·w_j = p_d - r_d
+//
+// following §3.2 of the paper. id tags the competing record.
+func NewHyperplaneTransformed(id int, r, p Vector) Hyperplane {
+	d := len(r)
+	if len(p) != d {
+		panic(fmt.Sprintf("geom: hyperplane from records of lengths %d and %d", d, len(p)))
+	}
+	coef := make(Vector, d-1)
+	for j := 0; j < d-1; j++ {
+		coef[j] = (r[j] - r[d-1]) - (p[j] - p[d-1])
+	}
+	rhs := p[d-1] - r[d-1]
+	return normalize(id, coef, rhs)
+}
+
+// NewHyperplaneOriginal builds the hyperplane S(r)=S(p) in the original
+// d-dimensional preference space: (r-p)·w = 0, which always passes through
+// the origin (Appendix C).
+func NewHyperplaneOriginal(id int, r, p Vector) Hyperplane {
+	d := len(r)
+	if len(p) != d {
+		panic(fmt.Sprintf("geom: hyperplane from records of lengths %d and %d", d, len(p)))
+	}
+	coef := make(Vector, d)
+	for j := 0; j < d; j++ {
+		coef[j] = r[j] - p[j]
+	}
+	return normalize(id, coef, 0)
+}
+
+func normalize(id int, coef Vector, rhs float64) Hyperplane {
+	n := coef.Norm()
+	if n <= Eps {
+		// Degenerate: scores differ by the constant -rhs everywhere
+		// (S(r) - S(p) = coef·w - rhs = -rhs on the simplex).
+		switch {
+		case rhs < -Eps:
+			return Hyperplane{ID: id, Kind: AlwaysPositive}
+		case rhs > Eps:
+			return Hyperplane{ID: id, Kind: AlwaysNegative}
+		default:
+			return Hyperplane{ID: id, Kind: Tie}
+		}
+	}
+	out := make(Vector, len(coef))
+	for i, c := range coef {
+		out[i] = c / n
+	}
+	return Hyperplane{ID: id, Coef: out, RHS: rhs / n, Kind: Proper}
+}
+
+// Eval returns Coef·w - RHS: positive on the positive side, negative on the
+// negative side, ~0 on the hyperplane.
+func (h Hyperplane) Eval(w Vector) float64 {
+	return h.Coef.Dot(w) - h.RHS
+}
+
+// Side returns which open halfspace w lies in, or 0 if w is on the
+// hyperplane within tol.
+func (h Hyperplane) Side(w Vector, tol float64) Sign {
+	v := h.Eval(w)
+	switch {
+	case v > tol:
+		return Positive
+	case v < -tol:
+		return Negative
+	default:
+		return 0
+	}
+}
+
+func (h Hyperplane) String() string {
+	return fmt.Sprintf("h%d{%v = %.6g}", h.ID, []float64(h.Coef), h.RHS)
+}
+
+// Halfspace is one side of a hyperplane: the open set where Sign·(Coef·w -
+// RHS) > 0.
+type Halfspace struct {
+	H    Hyperplane
+	Sign Sign
+}
+
+// Contains reports whether w lies strictly inside the halfspace (by tol).
+func (hs Halfspace) Contains(w Vector, tol float64) bool {
+	return float64(hs.Sign)*hs.H.Eval(w) > tol
+}
+
+// AsConstraint renders the halfspace as a row a·w <= b (the closed
+// complement boundary): Sign=+1 (Coef·w > RHS) becomes -Coef·w <= -RHS;
+// Sign=-1 (Coef·w < RHS) becomes Coef·w <= RHS. Rows stay unit-normalized.
+func (hs Halfspace) AsConstraint() Constraint {
+	if hs.Sign == Negative {
+		return Constraint{A: hs.H.Coef, B: hs.H.RHS, Strict: true}
+	}
+	a := make(Vector, len(hs.H.Coef))
+	for i, c := range hs.H.Coef {
+		a[i] = -c
+	}
+	return Constraint{A: a, B: -hs.H.RHS, Strict: true}
+}
+
+func (hs Halfspace) String() string {
+	return fmt.Sprintf("h%d%s", hs.H.ID, hs.Sign)
+}
+
+// Constraint is a linear row a·w <= b (Strict: a·w < b) with a
+// unit-normalized unless constructed otherwise.
+type Constraint struct {
+	A      Vector
+	B      float64
+	Strict bool
+}
+
+// Holds reports whether w satisfies the constraint with tolerance tol
+// (strict constraints require a margin of tol; non-strict allow +tol).
+func (c Constraint) Holds(w Vector, tol float64) bool {
+	v := c.A.Dot(w) - c.B
+	if c.Strict {
+		return v < -tol
+	}
+	return v <= tol
+}
+
+// SpaceBoundsTransformed returns the constraints delimiting the transformed
+// preference space in dPref = d-1 dimensions: w_j > 0 for every j, and
+// Σ w_j < 1 (so that the implicit w_d is positive). Rows are
+// unit-normalized.
+func SpaceBoundsTransformed(dPref int) []Constraint {
+	cons := make([]Constraint, 0, dPref+1)
+	for j := 0; j < dPref; j++ {
+		a := make(Vector, dPref)
+		a[j] = -1
+		cons = append(cons, Constraint{A: a, B: 0, Strict: true})
+	}
+	a := make(Vector, dPref)
+	norm := math.Sqrt(float64(dPref))
+	for j := range a {
+		a[j] = 1 / norm
+	}
+	cons = append(cons, Constraint{A: a, B: 1 / norm, Strict: true})
+	return cons
+}
+
+// SpaceBoundsOriginal returns the constraints delimiting the original
+// preference space in d dimensions: w_j > 0 and w_j < 1 for every j
+// (Appendix C; no normalization constraint, so cells are cones).
+func SpaceBoundsOriginal(d int) []Constraint {
+	cons := make([]Constraint, 0, 2*d)
+	for j := 0; j < d; j++ {
+		lo := make(Vector, d)
+		lo[j] = -1
+		cons = append(cons, Constraint{A: lo, B: 0, Strict: true})
+		hi := make(Vector, d)
+		hi[j] = 1
+		cons = append(cons, Constraint{A: hi, B: 1, Strict: true})
+	}
+	return cons
+}

@@ -1,0 +1,190 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// The defining property of a transformed-space hyperplane: for any weight
+// vector wt, the side of the hyperplane matches the score comparison
+// between r and p under the lifted weights (paper §3.2).
+func TestHyperplaneSideMatchesScoreComparison(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 2000; trial++ {
+		d := 2 + rng.Intn(5)
+		r := randVector(rng, d)
+		p := randVector(rng, d)
+		h := NewHyperplaneTransformed(1, r, p)
+		wt := randSimplex(rng, d-1)
+		w := Lift(wt)
+		diff := Score(r, w) - Score(p, w)
+		switch h.Kind {
+		case Proper:
+			v := h.Eval(wt)
+			if diff > 1e-7 && v <= 0 {
+				t.Fatalf("S(r)>S(p) (diff=%g) but Eval=%g <= 0", diff, v)
+			}
+			if diff < -1e-7 && v >= 0 {
+				t.Fatalf("S(r)<S(p) (diff=%g) but Eval=%g >= 0", diff, v)
+			}
+		case AlwaysPositive:
+			if diff <= 0 {
+				t.Fatalf("AlwaysPositive but diff=%g", diff)
+			}
+		case AlwaysNegative:
+			if diff >= 0 {
+				t.Fatalf("AlwaysNegative but diff=%g", diff)
+			}
+		case Tie:
+			if math.Abs(diff) > 1e-7 {
+				t.Fatalf("Tie but diff=%g", diff)
+			}
+		}
+	}
+}
+
+func TestHyperplaneOriginalPassesThroughOrigin(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 200; trial++ {
+		d := 2 + rng.Intn(5)
+		r, p := randVector(rng, d), randVector(rng, d)
+		h := NewHyperplaneOriginal(1, r, p)
+		if h.Kind != Proper {
+			continue
+		}
+		if h.RHS != 0 {
+			t.Fatalf("original-space hyperplane has RHS %v, want 0", h.RHS)
+		}
+		// Side must match the raw score comparison at any positive w.
+		w := randVector(rng, d)
+		diff := Score(r, w) - Score(p, w)
+		v := h.Eval(w)
+		if diff > 1e-7 && v <= 0 || diff < -1e-7 && v >= 0 {
+			t.Fatalf("original-space side mismatch: diff=%g eval=%g", diff, v)
+		}
+	}
+}
+
+func TestHyperplaneDegenerateKinds(t *testing.T) {
+	p := Vector{1, 2, 3}
+	// r = p + 0.5 in every dimension: r dominates p, scores always higher.
+	r := Vector{1.5, 2.5, 3.5}
+	if h := NewHyperplaneTransformed(0, r, p); h.Kind != AlwaysPositive {
+		t.Fatalf("constant-shift-up record: kind %v, want AlwaysPositive", h.Kind)
+	}
+	// r = p - 0.5 everywhere.
+	r = Vector{0.5, 1.5, 2.5}
+	if h := NewHyperplaneTransformed(0, r, p); h.Kind != AlwaysNegative {
+		t.Fatalf("constant-shift-down record: kind %v, want AlwaysNegative", h.Kind)
+	}
+	if h := NewHyperplaneTransformed(0, p.Clone(), p); h.Kind != Tie {
+		t.Fatalf("identical record: kind %v, want Tie", h.Kind)
+	}
+}
+
+func TestHyperplaneNormalization(t *testing.T) {
+	h := NewHyperplaneTransformed(0, Vector{9, 4, 4}, Vector{5, 5, 7})
+	if h.Kind != Proper {
+		t.Fatalf("kind = %v, want Proper", h.Kind)
+	}
+	if math.Abs(h.Coef.Norm()-1) > 1e-12 {
+		t.Fatalf("coefficients not unit-normalized: |a| = %v", h.Coef.Norm())
+	}
+}
+
+func TestHalfspaceContainsAndConstraint(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 500; trial++ {
+		d := 3
+		r, p := randVector(rng, d), randVector(rng, d)
+		h := NewHyperplaneTransformed(1, r, p)
+		if h.Kind != Proper {
+			continue
+		}
+		wt := randSimplex(rng, d-1)
+		for _, sign := range []Sign{Positive, Negative} {
+			hs := Halfspace{H: h, Sign: sign}
+			in := hs.Contains(wt, 1e-9)
+			con := hs.AsConstraint()
+			// Membership in the open halfspace implies the constraint holds.
+			if in && !con.Holds(wt, 0) {
+				t.Fatalf("halfspace %v contains %v but constraint fails", hs, wt)
+			}
+			if !in && con.Holds(wt, -1e-6) {
+				// Strictly inside the constraint by a margin implies Contains.
+				t.Fatalf("constraint strictly holds at %v but Contains is false", wt)
+			}
+		}
+	}
+}
+
+func TestSignOpposite(t *testing.T) {
+	if Positive.Opposite() != Negative || Negative.Opposite() != Positive {
+		t.Fatal("Opposite is broken")
+	}
+	if Positive.String() != "+" || Negative.String() != "-" {
+		t.Fatal("Sign.String is broken")
+	}
+}
+
+func TestSpaceBoundsTransformed(t *testing.T) {
+	cons := SpaceBoundsTransformed(2)
+	if len(cons) != 3 {
+		t.Fatalf("got %d constraints, want 3", len(cons))
+	}
+	inside := Vector{0.2, 0.3}
+	outside := []Vector{{-0.1, 0.3}, {0.6, 0.6}, {0.2, -0.01}}
+	for _, c := range cons {
+		if !c.Holds(inside, 1e-12) {
+			t.Fatalf("interior point violates %+v", c)
+		}
+	}
+	for _, w := range outside {
+		ok := true
+		for _, c := range cons {
+			if !c.Holds(w, 1e-12) {
+				ok = false
+			}
+		}
+		if ok {
+			t.Fatalf("exterior point %v satisfies all bounds", w)
+		}
+	}
+}
+
+func TestSpaceBoundsOriginal(t *testing.T) {
+	cons := SpaceBoundsOriginal(3)
+	if len(cons) != 6 {
+		t.Fatalf("got %d constraints, want 6", len(cons))
+	}
+	in := Vector{0.5, 0.5, 0.5}
+	for _, c := range cons {
+		if !c.Holds(in, 1e-12) {
+			t.Fatalf("interior point violates %+v", c)
+		}
+	}
+	out := Vector{1.5, 0.5, 0.5}
+	viol := 0
+	for _, c := range cons {
+		if !c.Holds(out, 1e-12) {
+			viol++
+		}
+	}
+	if viol == 0 {
+		t.Fatal("exterior point satisfies all original-space bounds")
+	}
+}
+
+func TestSideClassification(t *testing.T) {
+	h := NewHyperplaneTransformed(0, Vector{9, 4, 4}, Vector{5, 5, 7})
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 200; i++ {
+		wt := randSimplex(rng, 2)
+		side := h.Side(wt, 1e-9)
+		diff := Score(Vector{9, 4, 4}, Lift(wt)) - Score(Vector{5, 5, 7}, Lift(wt))
+		if side == Positive && diff <= 0 || side == Negative && diff >= 0 {
+			t.Fatalf("side %v inconsistent with score diff %g", side, diff)
+		}
+	}
+}

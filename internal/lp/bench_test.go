@@ -1,0 +1,55 @@
+package lp
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func randomCell(rng *rand.Rand, dim, extra int) []geom.Constraint {
+	cons := geom.SpaceBoundsTransformed(dim)
+	for i := 0; i < extra; i++ {
+		a := make(geom.Vector, dim)
+		for j := range a {
+			a[j] = rng.NormFloat64()
+		}
+		n := a.Norm()
+		if n < 1e-9 {
+			continue
+		}
+		for j := range a {
+			a[j] /= n
+		}
+		cons = append(cons, geom.Constraint{A: a, B: rng.Float64() * 0.6, Strict: true})
+	}
+	return cons
+}
+
+func benchFeasibility(b *testing.B, dim, rows int) {
+	rng := rand.New(rand.NewSource(1))
+	cons := randomCell(rng, dim, rows)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := FeasibleInterior(cons, dim, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFeasibility_d3_rows10(b *testing.B)  { benchFeasibility(b, 3, 10) }
+func BenchmarkFeasibility_d3_rows50(b *testing.B)  { benchFeasibility(b, 3, 50) }
+func BenchmarkFeasibility_d6_rows50(b *testing.B)  { benchFeasibility(b, 6, 50) }
+func BenchmarkFeasibility_d3_rows200(b *testing.B) { benchFeasibility(b, 3, 200) }
+
+func BenchmarkScoreBound_d3_rows30(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	cons := randomCell(rng, 3, 30)
+	obj := geom.Vector{0.3, -0.2, 0.5}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, _, err := Bound(cons, obj, true, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,149 @@
+package lp
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geom"
+)
+
+// sanitize maps arbitrary floats into a small, well-conditioned range.
+func sanitize(x float64) float64 {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return 0.3
+	}
+	return math.Mod(math.Abs(x), 2) - 1 // [-1, 1)
+}
+
+// Property: when Maximize reports Optimal, the returned point satisfies
+// every constraint and is non-negative.
+func TestQuickOptimalPointIsFeasible(t *testing.T) {
+	f := func(rawA [][2]float64, rawB []float64, rawC [2]float64) bool {
+		m := len(rawA)
+		if len(rawB) < m {
+			m = len(rawB)
+		}
+		if m == 0 {
+			return true
+		}
+		a := make([][]float64, m)
+		b := make([]float64, m)
+		for i := 0; i < m; i++ {
+			a[i] = []float64{sanitize(rawA[i][0]), sanitize(rawA[i][1])}
+			b[i] = sanitize(rawB[i])
+		}
+		// Box rows keep the LP bounded.
+		a = append(a, []float64{1, 0}, []float64{0, 1})
+		b = append(b, 5, 5)
+		c := []float64{sanitize(rawC[0]), sanitize(rawC[1])}
+		sol, err := Maximize(c, a, b, nil)
+		if err != nil {
+			return false
+		}
+		if sol.Status != Optimal {
+			return true // infeasible/unbounded is legitimate
+		}
+		for j := range sol.X {
+			if sol.X[j] < -1e-7 {
+				return false
+			}
+		}
+		for i := range a {
+			s := 0.0
+			for j := range sol.X {
+				s += a[i][j] * sol.X[j]
+			}
+			if s > b[i]+1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the objective at the reported optimum is at least the objective
+// at any feasible corner candidate we can easily construct (the origin,
+// when feasible).
+func TestQuickOriginLowerBound(t *testing.T) {
+	f := func(rawA [][2]float64, rawB []float64, rawC [2]float64) bool {
+		m := len(rawA)
+		if len(rawB) < m {
+			m = len(rawB)
+		}
+		if m == 0 {
+			return true
+		}
+		a := make([][]float64, m)
+		b := make([]float64, m)
+		originFeasible := true
+		for i := 0; i < m; i++ {
+			a[i] = []float64{sanitize(rawA[i][0]), sanitize(rawA[i][1])}
+			b[i] = sanitize(rawB[i])
+			if b[i] < 0 {
+				originFeasible = false
+			}
+		}
+		a = append(a, []float64{1, 0}, []float64{0, 1})
+		b = append(b, 5, 5)
+		c := []float64{sanitize(rawC[0]), sanitize(rawC[1])}
+		sol, err := Maximize(c, a, b, nil)
+		if err != nil {
+			return false
+		}
+		if !originFeasible {
+			return true
+		}
+		// Origin is feasible with objective 0, so the LP cannot be
+		// infeasible and its optimum cannot be below 0.
+		return sol.Status == Optimal && sol.Objective >= -1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: FeasibleInterior is monotone — adding constraints never turns
+// an infeasible open cell feasible.
+func TestQuickFeasibilityMonotone(t *testing.T) {
+	f := func(rawRows [][2]float64, rawB []float64) bool {
+		m := len(rawRows)
+		if len(rawB) < m {
+			m = len(rawB)
+		}
+		cons := geom.SpaceBoundsTransformed(2)
+		feasible := make([]bool, 0, m+1)
+		in, err := FeasibleInterior(cons, 2, nil)
+		if err != nil {
+			return false
+		}
+		feasible = append(feasible, in.Feasible)
+		for i := 0; i < m; i++ {
+			a := geom.Vector{sanitize(rawRows[i][0]), sanitize(rawRows[i][1])}
+			n := a.Norm()
+			if n < 1e-9 {
+				continue
+			}
+			a[0] /= n
+			a[1] /= n
+			cons = append(cons, geom.Constraint{A: a, B: sanitize(rawB[i]), Strict: true})
+			in, err := FeasibleInterior(cons, 2, nil)
+			if err != nil {
+				return false
+			}
+			feasible = append(feasible, in.Feasible)
+		}
+		for i := 1; i < len(feasible); i++ {
+			if feasible[i] && !feasible[i-1] {
+				return false // regained feasibility after losing it
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,63 @@
+package rtree
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func benchTree(b *testing.B, n, d int) *Tree {
+	b.Helper()
+	rng := rand.New(rand.NewSource(1))
+	tr, err := Build(randRecords(rng, n, d))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return tr
+}
+
+func BenchmarkBuild_50k_d4(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	recs := randRecords(rng, 50000, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Build(recs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSkyline_50k_d4(b *testing.B) {
+	tr := benchTree(b, 50000, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Skyline(nil)
+	}
+}
+
+func BenchmarkKSkyband30_20k_d4(b *testing.B) {
+	tr := benchTree(b, 20000, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.KSkyband(30, nil)
+	}
+}
+
+func BenchmarkTopK10_50k_d4(b *testing.B) {
+	tr := benchTree(b, 50000, 4)
+	w := geom.Vector{0.4, 0.3, 0.2, 0.1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.TopK(w, 10, nil)
+	}
+}
+
+func BenchmarkDominators_50k_d4(b *testing.B) {
+	tr := benchTree(b, 50000, 4)
+	p := geom.Vector{0.8, 0.8, 0.8, 0.8}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Dominators(p, nil)
+	}
+}

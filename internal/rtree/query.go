@@ -1,0 +1,308 @@
+package rtree
+
+import (
+	"container/heap"
+	"sort"
+
+	"repro/internal/geom"
+)
+
+// ExcludeFunc filters records out of a query; nil means exclude nothing.
+type ExcludeFunc func(id int) bool
+
+// entryHeap orders entries by descending key (max-heap on key).
+type heapItem struct {
+	entry Entry
+	key   float64
+}
+
+type entryHeap []heapItem
+
+func (h entryHeap) Len() int            { return len(h) }
+func (h entryHeap) Less(i, j int) bool  { return h[i].key > h[j].key }
+func (h entryHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *entryHeap) Push(x interface{}) { *h = append(*h, x.(heapItem)) }
+func (h *entryHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// Skyline returns the IDs of the records not dominated by any other record,
+// considering only records for which exclude(id) is false. It is the
+// branch-and-bound skyline (BBS) of Papadias et al. adapted to "larger is
+// better" semantics: entries are processed in decreasing order of the
+// coordinate sum of their max-corner, which guarantees every potential
+// dominator of a record is examined before the record itself.
+func (t *Tree) Skyline(exclude ExcludeFunc) []int {
+	var sky []int
+	skyVecs := make([]geom.Vector, 0, 16)
+	h := &entryHeap{}
+	t.visit(t.Root)
+	for _, e := range t.Root.Entries {
+		heap.Push(h, heapItem{e, e.High.Sum()})
+	}
+	for h.Len() > 0 {
+		it := heap.Pop(h).(heapItem)
+		e := it.entry
+		if dominatedByAny(skyVecs, e.High) {
+			continue
+		}
+		if e.Child != nil {
+			t.visit(e.Child)
+			for _, ce := range e.Child.Entries {
+				if !dominatedByAny(skyVecs, ce.High) {
+					heap.Push(h, heapItem{ce, ce.High.Sum()})
+				}
+			}
+			continue
+		}
+		if exclude != nil && exclude(e.RecordID) {
+			continue
+		}
+		r := t.Records[e.RecordID]
+		if !dominatedByAny(skyVecs, r) {
+			sky = append(sky, e.RecordID)
+			skyVecs = append(skyVecs, r)
+		}
+	}
+	sort.Ints(sky)
+	return sky
+}
+
+func dominatedByAny(vs []geom.Vector, x geom.Vector) bool {
+	for _, v := range vs {
+		if geom.Dominates(v, x) {
+			return true
+		}
+	}
+	return false
+}
+
+// KSkyband returns the IDs of records dominated by fewer than k others
+// (again honouring exclude). It generalizes Skyline (k=1). Counting only
+// skyband dominators is exact by transitivity: a pruned dominator itself
+// has >= k skyband dominators, which also dominate the candidate.
+func (t *Tree) KSkyband(k int, exclude ExcludeFunc) []int {
+	if k <= 0 {
+		return nil
+	}
+	var band []int
+	var bandVecs []geom.Vector
+	h := &entryHeap{}
+	t.visit(t.Root)
+	for _, e := range t.Root.Entries {
+		heap.Push(h, heapItem{e, e.High.Sum()})
+	}
+	for h.Len() > 0 {
+		it := heap.Pop(h).(heapItem)
+		e := it.entry
+		if countDominators(bandVecs, e.High) >= k {
+			continue
+		}
+		if e.Child != nil {
+			t.visit(e.Child)
+			for _, ce := range e.Child.Entries {
+				if countDominators(bandVecs, ce.High) < k {
+					heap.Push(h, heapItem{ce, ce.High.Sum()})
+				}
+			}
+			continue
+		}
+		if exclude != nil && exclude(e.RecordID) {
+			continue
+		}
+		r := t.Records[e.RecordID]
+		if countDominators(bandVecs, r) < k {
+			band = append(band, e.RecordID)
+			bandVecs = append(bandVecs, r)
+		}
+	}
+	sort.Ints(band)
+	return band
+}
+
+func countDominators(vs []geom.Vector, x geom.Vector) int {
+	n := 0
+	for _, v := range vs {
+		if geom.Dominates(v, x) {
+			n++
+		}
+	}
+	return n
+}
+
+// TopK returns the k record IDs with the highest scores under weight vector
+// w (original d-dimensional weights), best first. Branch-and-bound on the
+// max-corner score.
+func (t *Tree) TopK(w geom.Vector, k int, exclude ExcludeFunc) []int {
+	if k <= 0 {
+		return nil
+	}
+	type scored struct {
+		id    int
+		score float64
+	}
+	var result []scored
+	h := &entryHeap{}
+	t.visit(t.Root)
+	for _, e := range t.Root.Entries {
+		heap.Push(h, heapItem{e, e.High.Dot(w)})
+	}
+	for h.Len() > 0 {
+		it := heap.Pop(h).(heapItem)
+		if len(result) >= k && it.key <= result[len(result)-1].score {
+			break // no remaining entry can beat the current k-th score
+		}
+		e := it.entry
+		if e.Child != nil {
+			t.visit(e.Child)
+			for _, ce := range e.Child.Entries {
+				heap.Push(h, heapItem{ce, ce.High.Dot(w)})
+			}
+			continue
+		}
+		if exclude != nil && exclude(e.RecordID) {
+			continue
+		}
+		s := t.Records[e.RecordID].Dot(w)
+		result = append(result, scored{e.RecordID, s})
+		sort.Slice(result, func(a, b int) bool { return result[a].score > result[b].score })
+		if len(result) > k {
+			result = result[:k]
+		}
+	}
+	ids := make([]int, len(result))
+	for i, s := range result {
+		ids[i] = s.id
+	}
+	return ids
+}
+
+// Dominators returns the IDs of records that dominate p (honouring
+// exclude). A subtree is pruned when its max-corner fails to cover p,
+// since then no record inside can dominate p.
+func (t *Tree) Dominators(p geom.Vector, exclude ExcludeFunc) []int {
+	var out []int
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		t.visit(n)
+		for _, e := range n.Entries {
+			if !coversOrEqual(e.High, p) {
+				continue
+			}
+			if e.Child != nil {
+				walk(e.Child)
+				continue
+			}
+			if exclude != nil && exclude(e.RecordID) {
+				continue
+			}
+			if geom.Dominates(t.Records[e.RecordID], p) {
+				out = append(out, e.RecordID)
+			}
+		}
+	}
+	walk(t.Root)
+	sort.Ints(out)
+	return out
+}
+
+// DominatedBy returns the IDs of records dominated by p.
+func (t *Tree) DominatedBy(p geom.Vector, exclude ExcludeFunc) []int {
+	var out []int
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		t.visit(n)
+		for _, e := range n.Entries {
+			if !coversOrEqual(p, e.Low) {
+				continue
+			}
+			if e.Child != nil {
+				walk(e.Child)
+				continue
+			}
+			if exclude != nil && exclude(e.RecordID) {
+				continue
+			}
+			if geom.Dominates(p, t.Records[e.RecordID]) {
+				out = append(out, e.RecordID)
+			}
+		}
+	}
+	walk(t.Root)
+	sort.Ints(out)
+	return out
+}
+
+// EqualTo returns the IDs of records exactly equal to p (score ties of the
+// focal record; the paper ignores ties, so kSPR processing excludes them).
+func (t *Tree) EqualTo(p geom.Vector, exclude ExcludeFunc) []int {
+	var out []int
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		t.visit(n)
+		for _, e := range n.Entries {
+			if !coversOrEqual(e.High, p) || !coversOrEqual(p, e.Low) {
+				continue
+			}
+			if e.Child != nil {
+				walk(e.Child)
+				continue
+			}
+			if exclude != nil && exclude(e.RecordID) {
+				continue
+			}
+			if t.Records[e.RecordID].Equal(p) {
+				out = append(out, e.RecordID)
+			}
+		}
+	}
+	walk(t.Root)
+	sort.Ints(out)
+	return out
+}
+
+// coversOrEqual reports x >= y in every dimension.
+func coversOrEqual(x, y geom.Vector) bool {
+	for i, v := range x {
+		if v < y[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// AnyNotDominated reports whether some record (with exclude(id) false) is
+// dominated by NONE of the pivot vectors. This powers the early-reporting
+// test of P-CTA (Lemma 5): if no unprocessed record escapes the pivots'
+// dominance regions, the cell can be reported immediately. A subtree is
+// pruned when its max-corner is dominated by a pivot, since every record
+// inside is then dominated too.
+func (t *Tree) AnyNotDominated(pivots []geom.Vector, exclude ExcludeFunc) bool {
+	var walk func(n *Node) bool
+	walk = func(n *Node) bool {
+		t.visit(n)
+		for _, e := range n.Entries {
+			if dominatedByAny(pivots, e.High) {
+				continue
+			}
+			if e.Child != nil {
+				if walk(e.Child) {
+					return true
+				}
+				continue
+			}
+			if exclude != nil && exclude(e.RecordID) {
+				continue
+			}
+			if !dominatedByAny(pivots, t.Records[e.RecordID]) {
+				return true
+			}
+		}
+		return false
+	}
+	return walk(t.Root)
+}

@@ -1,0 +1,242 @@
+// Package rtree implements the aggregate R-tree the paper uses as its data
+// index (§6.2, citing the aR-tree of Papadias et al.): a spatial index whose
+// internal entries carry, besides the minimum bounding rectangle, the number
+// of records in their subtree. It supports the access patterns kSPR needs:
+// branch-and-bound skyline (BBS) with exclusion sets, k-skyband extraction,
+// top-k retrieval, dominance counting/existence queries, and a page-visit
+// hook for the disk-resident scenario of Appendix A.
+//
+// Construction uses Sort-Tile-Recursive (STR) bulk loading, which is the
+// standard way to build a static R-tree over a known dataset.
+package rtree
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/geom"
+)
+
+// DefaultFanout is the default maximum number of entries per node; with
+// ~4KB pages and d<=8 float64 MBRs this is a realistic page capacity.
+const DefaultFanout = 64
+
+// Tracker observes page visits; used by the disk simulation (Appendix A).
+type Tracker interface {
+	Visit(page int)
+}
+
+// Entry is a slot in a node: either a child pointer (internal nodes) with
+// aggregate count, or a record reference (leaf nodes).
+type Entry struct {
+	Low, High geom.Vector // MBR corners (min-corner GL and max-corner GU)
+	Count     int         // number of records in the subtree (1 for records)
+	Child     *Node       // non-nil for internal entries
+	RecordID  int         // valid for leaf entries
+}
+
+// Node is an R-tree node.
+type Node struct {
+	Leaf    bool
+	Entries []Entry
+	Page    int // sequential page ID for I/O accounting
+}
+
+// Tree is a bulk-loaded aggregate R-tree over a record set. Records are
+// identified by their index in the backing slice.
+type Tree struct {
+	Dim     int
+	Records []geom.Vector
+	Root    *Node
+
+	fanout int
+	pages  int
+	// Aggregate records whether subtree counts were materialized. A plain
+	// R-tree (Aggregate=false) is structurally identical but exposes no
+	// counts; it exists to reproduce the index-construction comparison of
+	// Appendix D.
+	Aggregate bool
+
+	tracker Tracker
+}
+
+// Option configures tree construction.
+type Option func(*Tree)
+
+// WithFanout sets the node capacity.
+func WithFanout(f int) Option {
+	return func(t *Tree) {
+		if f >= 2 {
+			t.fanout = f
+		}
+	}
+}
+
+// WithoutAggregates builds a plain R-tree (no subtree counts), matching the
+// non-aggregate index of Appendix D. Queries that need counts will panic.
+func WithoutAggregates() Option {
+	return func(t *Tree) { t.Aggregate = false }
+}
+
+// Build bulk-loads an R-tree over records using STR.
+func Build(records []geom.Vector, opts ...Option) (*Tree, error) {
+	if len(records) == 0 {
+		return nil, fmt.Errorf("rtree: empty record set")
+	}
+	dim := len(records[0])
+	for i, r := range records {
+		if len(r) != dim {
+			return nil, fmt.Errorf("rtree: record %d has %d dims, want %d", i, len(r), dim)
+		}
+	}
+	t := &Tree{Dim: dim, Records: records, fanout: DefaultFanout, Aggregate: true}
+	for _, o := range opts {
+		o(t)
+	}
+
+	// Leaf level: STR-tile the record IDs.
+	ids := make([]int, len(records))
+	for i := range ids {
+		ids[i] = i
+	}
+	groups := strTile(records, ids, dim, 0, t.fanout)
+	level := make([]*Node, 0, len(groups))
+	for _, g := range groups {
+		n := &Node{Leaf: true, Page: t.pages}
+		t.pages++
+		for _, id := range g {
+			r := records[id]
+			n.Entries = append(n.Entries, Entry{
+				Low: r, High: r, Count: 1, RecordID: id,
+			})
+		}
+		level = append(level, n)
+	}
+
+	// Upper levels: group consecutive nodes (they are already spatially
+	// clustered by the STR order).
+	for len(level) > 1 {
+		var next []*Node
+		for i := 0; i < len(level); i += t.fanout {
+			end := min(i+t.fanout, len(level))
+			n := &Node{Page: t.pages}
+			t.pages++
+			for _, child := range level[i:end] {
+				low, high, count := nodeMBR(child, dim)
+				if !t.Aggregate {
+					count = 0
+				}
+				n.Entries = append(n.Entries, Entry{Low: low, High: high, Count: count, Child: child})
+			}
+			next = append(next, n)
+		}
+		level = next
+	}
+	t.Root = level[0]
+	return t, nil
+}
+
+// strTile recursively partitions ids into groups of at most cap records
+// using the Sort-Tile-Recursive scheme starting at dimension dimIdx.
+func strTile(records []geom.Vector, ids []int, dim, dimIdx, cap int) [][]int {
+	if len(ids) <= cap {
+		return [][]int{ids}
+	}
+	sort.Slice(ids, func(a, b int) bool {
+		return records[ids[a]][dimIdx] < records[ids[b]][dimIdx]
+	})
+	if dimIdx == dim-1 {
+		// Final dimension: chop into runs of cap.
+		var out [][]int
+		for i := 0; i < len(ids); i += cap {
+			out = append(out, ids[i:min(i+cap, len(ids))])
+		}
+		return out
+	}
+	// Number of leaf pages we will eventually need, then slabs per this dim.
+	pages := (len(ids) + cap - 1) / cap
+	slabs := ceilPow(pages, dim-dimIdx)
+	slabSize := (len(ids) + slabs - 1) / slabs
+	var out [][]int
+	for i := 0; i < len(ids); i += slabSize {
+		out = append(out, strTile(records, ids[i:min(i+slabSize, len(ids))], dim, dimIdx+1, cap)...)
+	}
+	return out
+}
+
+// ceilPow returns ceil(n^(1/k)).
+func ceilPow(n, k int) int {
+	if k <= 1 {
+		return n
+	}
+	lo, hi := 1, n
+	for lo < hi {
+		mid := (lo + hi) / 2
+		p := 1
+		over := false
+		for i := 0; i < k; i++ {
+			p *= mid
+			if p >= n {
+				over = true
+				break
+			}
+		}
+		if over {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+func nodeMBR(n *Node, dim int) (geom.Vector, geom.Vector, int) {
+	low := make(geom.Vector, dim)
+	high := make(geom.Vector, dim)
+	copy(low, n.Entries[0].Low)
+	copy(high, n.Entries[0].High)
+	count := 0
+	for _, e := range n.Entries {
+		for j := 0; j < dim; j++ {
+			if e.Low[j] < low[j] {
+				low[j] = e.Low[j]
+			}
+			if e.High[j] > high[j] {
+				high[j] = e.High[j]
+			}
+		}
+		count += e.Count
+	}
+	return low, high, count
+}
+
+// SetTracker installs (or clears, with nil) a page-visit observer.
+func (t *Tree) SetTracker(tr Tracker) { t.tracker = tr }
+
+func (t *Tree) visit(n *Node) {
+	if t.tracker != nil {
+		t.tracker.Visit(n.Page)
+	}
+}
+
+// Pages returns the total number of pages (nodes) in the tree.
+func (t *Tree) Pages() int { return t.pages }
+
+// Height returns the number of levels.
+func (t *Tree) Height() int {
+	h := 1
+	for n := t.Root; !n.Leaf; n = n.Entries[0].Child {
+		h++
+	}
+	return h
+}
+
+// Len returns the number of indexed records.
+func (t *Tree) Len() int { return len(t.Records) }
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,499 @@
+package rtree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func randRecords(rng *rand.Rand, n, d int) []geom.Vector {
+	rs := make([]geom.Vector, n)
+	for i := range rs {
+		v := make(geom.Vector, d)
+		for j := range v {
+			v[j] = rng.Float64()
+		}
+		rs[i] = v
+	}
+	return rs
+}
+
+func TestBuildValidatesInput(t *testing.T) {
+	if _, err := Build(nil); err == nil {
+		t.Fatal("expected error for empty record set")
+	}
+	if _, err := Build([]geom.Vector{{1, 2}, {1}}); err == nil {
+		t.Fatal("expected error for ragged records")
+	}
+}
+
+func TestBuildStructure(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	recs := randRecords(rng, 1000, 3)
+	tr, err := Build(recs, WithFanout(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 1000 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if tr.Height() < 2 {
+		t.Fatalf("height %d too small for 1000 records with fanout 16", tr.Height())
+	}
+	// Every record must be reachable exactly once, and every MBR must
+	// contain its subtree.
+	seen := map[int]int{}
+	var walk func(n *Node) (geom.Vector, geom.Vector, int)
+	walk = func(n *Node) (geom.Vector, geom.Vector, int) {
+		if len(n.Entries) == 0 {
+			t.Fatal("empty node")
+		}
+		if len(n.Entries) > 16 {
+			t.Fatalf("node with %d entries exceeds fanout", len(n.Entries))
+		}
+		low, high, total := nodeMBR(n, tr.Dim)
+		for _, e := range n.Entries {
+			if e.Child != nil {
+				clow, chigh, ccount := walk(e.Child)
+				if ccount != e.Count {
+					t.Fatalf("entry count %d, subtree has %d", e.Count, ccount)
+				}
+				for j := 0; j < tr.Dim; j++ {
+					if e.Low[j] > clow[j]+1e-12 || e.High[j] < chigh[j]-1e-12 {
+						t.Fatal("entry MBR does not contain child MBR")
+					}
+				}
+			} else {
+				seen[e.RecordID]++
+			}
+		}
+		return low, high, total
+	}
+	_, _, total := walk(tr.Root)
+	if total != 1000 {
+		t.Fatalf("aggregate total %d, want 1000", total)
+	}
+	for id := 0; id < 1000; id++ {
+		if seen[id] != 1 {
+			t.Fatalf("record %d appears %d times", id, seen[id])
+		}
+	}
+}
+
+func bruteSkyline(recs []geom.Vector, exclude ExcludeFunc) []int {
+	var out []int
+	for i, r := range recs {
+		if exclude != nil && exclude(i) {
+			continue
+		}
+		dominated := false
+		for j, s := range recs {
+			if i == j || (exclude != nil && exclude(j)) {
+				continue
+			}
+			if geom.Dominates(s, r) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			out = append(out, i)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+func bruteSkyband(recs []geom.Vector, k int, exclude ExcludeFunc) []int {
+	var out []int
+	for i, r := range recs {
+		if exclude != nil && exclude(i) {
+			continue
+		}
+		count := 0
+		for j, s := range recs {
+			if i == j || (exclude != nil && exclude(j)) {
+				continue
+			}
+			if geom.Dominates(s, r) {
+				count++
+			}
+		}
+		if count < k {
+			out = append(out, i)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestSkylineMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 30; trial++ {
+		n := 50 + rng.Intn(300)
+		d := 2 + rng.Intn(4)
+		recs := randRecords(rng, n, d)
+		tr, err := Build(recs, WithFanout(8))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := tr.Skyline(nil)
+		want := bruteSkyline(recs, nil)
+		if !equalInts(got, want) {
+			t.Fatalf("trial %d (n=%d d=%d): skyline %v != brute %v", trial, n, d, got, want)
+		}
+	}
+}
+
+func TestSkylineWithExclusions(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	recs := randRecords(rng, 200, 3)
+	tr, _ := Build(recs, WithFanout(8))
+	// Exclude the unconstrained skyline itself; the "second layer" must
+	// emerge.
+	first := tr.Skyline(nil)
+	exSet := map[int]bool{}
+	for _, id := range first {
+		exSet[id] = true
+	}
+	ex := func(id int) bool { return exSet[id] }
+	got := tr.Skyline(ex)
+	want := bruteSkyline(recs, ex)
+	if !equalInts(got, want) {
+		t.Fatalf("skyline with exclusions %v != brute %v", got, want)
+	}
+	for _, id := range got {
+		if exSet[id] {
+			t.Fatalf("excluded record %d reported", id)
+		}
+	}
+}
+
+func TestKSkybandMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 15; trial++ {
+		n := 80 + rng.Intn(200)
+		d := 2 + rng.Intn(3)
+		k := 1 + rng.Intn(5)
+		recs := randRecords(rng, n, d)
+		tr, _ := Build(recs, WithFanout(8))
+		got := tr.KSkyband(k, nil)
+		want := bruteSkyband(recs, k, nil)
+		if !equalInts(got, want) {
+			t.Fatalf("trial %d (n=%d d=%d k=%d): skyband size %d != brute %d",
+				trial, n, d, k, len(got), len(want))
+		}
+	}
+}
+
+func TestKSkybandK1IsSkyline(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	recs := randRecords(rng, 150, 3)
+	tr, _ := Build(recs)
+	if !equalInts(tr.KSkyband(1, nil), tr.Skyline(nil)) {
+		t.Fatal("1-skyband differs from skyline")
+	}
+	if tr.KSkyband(0, nil) != nil {
+		t.Fatal("0-skyband should be empty")
+	}
+}
+
+func TestTopKMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 20; trial++ {
+		n := 50 + rng.Intn(200)
+		d := 2 + rng.Intn(3)
+		recs := randRecords(rng, n, d)
+		tr, _ := Build(recs, WithFanout(8))
+		w := make(geom.Vector, d)
+		var sum float64
+		for j := range w {
+			w[j] = rng.Float64() + 0.01
+			sum += w[j]
+		}
+		for j := range w {
+			w[j] /= sum
+		}
+		k := 1 + rng.Intn(10)
+		got := tr.TopK(w, k, nil)
+		// Brute force.
+		ids := make([]int, n)
+		for i := range ids {
+			ids[i] = i
+		}
+		sort.Slice(ids, func(a, b int) bool {
+			return recs[ids[a]].Dot(w) > recs[ids[b]].Dot(w)
+		})
+		want := ids[:k]
+		if len(got) != k {
+			t.Fatalf("got %d results, want %d", len(got), k)
+		}
+		for i := range got {
+			// Compare scores rather than IDs to tolerate exact ties.
+			gs, ws := recs[got[i]].Dot(w), recs[want[i]].Dot(w)
+			if gs != ws {
+				t.Fatalf("trial %d: rank %d score %v, want %v", trial, i, gs, ws)
+			}
+		}
+	}
+}
+
+func TestDominatorsAndDominated(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	recs := randRecords(rng, 300, 3)
+	tr, _ := Build(recs, WithFanout(8))
+	p := geom.Vector{0.5, 0.5, 0.5}
+	gotDom := tr.Dominators(p, nil)
+	gotSub := tr.DominatedBy(p, nil)
+	var wantDom, wantSub []int
+	for i, r := range recs {
+		if geom.Dominates(r, p) {
+			wantDom = append(wantDom, i)
+		}
+		if geom.Dominates(p, r) {
+			wantSub = append(wantSub, i)
+		}
+	}
+	if !equalInts(gotDom, wantDom) {
+		t.Fatalf("Dominators: got %d, want %d", len(gotDom), len(wantDom))
+	}
+	if !equalInts(gotSub, wantSub) {
+		t.Fatalf("DominatedBy: got %d, want %d", len(gotSub), len(wantSub))
+	}
+}
+
+func TestAnyNotDominated(t *testing.T) {
+	recs := []geom.Vector{
+		{0.9, 0.9}, // dominates everything else
+		{0.5, 0.5},
+		{0.1, 0.8},
+	}
+	tr, _ := Build(recs, WithFanout(4))
+	// Pivot dominating all records: nothing escapes.
+	if tr.AnyNotDominated([]geom.Vector{{1, 1}}, nil) {
+		t.Fatal("pivot (1,1) dominates all, but AnyNotDominated = true")
+	}
+	// Pivot dominating only low records: record 0 escapes.
+	if !tr.AnyNotDominated([]geom.Vector{{0.6, 0.6}}, nil) {
+		t.Fatal("record (0.9,0.9) escapes pivot (0.6,0.6), but AnyNotDominated = false")
+	}
+	// Same pivot, but record 0 excluded: 0.1,0.8 also escapes (0.8 > 0.6).
+	ex := func(id int) bool { return id == 0 }
+	if !tr.AnyNotDominated([]geom.Vector{{0.6, 0.6}}, ex) {
+		t.Fatal("record (0.1,0.8) escapes pivot (0.6,0.6)")
+	}
+	// Pivots jointly covering everything.
+	if tr.AnyNotDominated([]geom.Vector{{1, 0.95}, {0.95, 1}}, nil) {
+		t.Fatal("joint pivots dominate all records")
+	}
+}
+
+type countTracker struct{ visits int }
+
+func (c *countTracker) Visit(int) { c.visits++ }
+
+func TestTrackerCountsPages(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	recs := randRecords(rng, 500, 3)
+	tr, _ := Build(recs, WithFanout(8))
+	var ct countTracker
+	tr.SetTracker(&ct)
+	tr.Skyline(nil)
+	if ct.visits == 0 {
+		t.Fatal("tracker saw no page visits")
+	}
+	if ct.visits > tr.Pages()*2 {
+		t.Fatalf("suspiciously many visits: %d for %d pages", ct.visits, tr.Pages())
+	}
+	tr.SetTracker(nil)
+	tr.Skyline(nil) // must not panic
+}
+
+func TestWithoutAggregates(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	recs := randRecords(rng, 100, 2)
+	tr, _ := Build(recs, WithoutAggregates(), WithFanout(8))
+	if tr.Aggregate {
+		t.Fatal("Aggregate flag not cleared")
+	}
+	// Structure-only queries still work.
+	if got := tr.Skyline(nil); !equalInts(got, bruteSkyline(recs, nil)) {
+		t.Fatal("skyline broken on non-aggregate tree")
+	}
+}
+
+func TestSingleRecordTree(t *testing.T) {
+	tr, err := Build([]geom.Vector{{0.3, 0.7}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.Skyline(nil); !equalInts(got, []int{0}) {
+		t.Fatalf("skyline of singleton = %v", got)
+	}
+	if got := tr.TopK(geom.Vector{0.5, 0.5}, 3, nil); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("top-3 of singleton = %v", got)
+	}
+}
+
+func TestCeilPow(t *testing.T) {
+	cases := []struct{ n, k, want int }{
+		{8, 3, 2}, {9, 2, 3}, {10, 2, 4}, {1, 5, 1}, {27, 3, 3}, {28, 3, 4},
+	}
+	for _, c := range cases {
+		if got := ceilPow(c.n, c.k); got != c.want {
+			t.Errorf("ceilPow(%d,%d) = %d, want %d", c.n, c.k, got, c.want)
+		}
+	}
+}
+
+func TestHeightAndPages(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	recs := randRecords(rng, 1000, 3)
+	tr, err := Build(recs, WithFanout(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Height() < 3 {
+		t.Fatalf("height %d too small for 1000 records at fanout 8", tr.Height())
+	}
+	// Pages = total node count.
+	count := 0
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		count++
+		for _, e := range n.Entries {
+			if e.Child != nil {
+				walk(e.Child)
+			}
+		}
+	}
+	walk(tr.Root)
+	if tr.Pages() != count {
+		t.Fatalf("Pages() = %d, counted %d nodes", tr.Pages(), count)
+	}
+}
+
+func TestWithFanoutRejectsTiny(t *testing.T) {
+	rng := rand.New(rand.NewSource(78))
+	recs := randRecords(rng, 100, 2)
+	tr, err := Build(recs, WithFanout(1)) // ignored: falls back to default
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Height() != 2 && tr.Height() != 1 {
+		t.Fatalf("unexpected height %d for default fanout", tr.Height())
+	}
+}
+
+func TestEqualTo(t *testing.T) {
+	recs := []geom.Vector{
+		{0.5, 0.5}, {0.5, 0.5}, {0.5, 0.6}, {0.4, 0.5},
+	}
+	tr, err := Build(recs, WithFanout(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := tr.EqualTo(geom.Vector{0.5, 0.5}, nil)
+	if !equalInts(got, []int{0, 1}) {
+		t.Fatalf("EqualTo = %v, want [0 1]", got)
+	}
+	got = tr.EqualTo(geom.Vector{0.5, 0.5}, func(id int) bool { return id == 0 })
+	if !equalInts(got, []int{1}) {
+		t.Fatalf("EqualTo with exclusion = %v, want [1]", got)
+	}
+	if got := tr.EqualTo(geom.Vector{0.9, 0.9}, nil); len(got) != 0 {
+		t.Fatalf("EqualTo for absent point = %v", got)
+	}
+}
+
+func TestSkylineIteratorMatchesBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	for trial := 0; trial < 10; trial++ {
+		recs := randRecords(rng, 150+rng.Intn(200), 3)
+		tr, err := Build(recs, WithFanout(8))
+		if err != nil {
+			t.Fatal(err)
+		}
+		it := tr.NewSkylineIterator(nil)
+		var got []int
+		for {
+			id := it.Next()
+			if id < 0 {
+				break
+			}
+			got = append(got, id)
+		}
+		want := tr.Skyline(nil)
+		sortedGot := append([]int(nil), got...)
+		sort.Ints(sortedGot)
+		if !equalInts(sortedGot, want) {
+			t.Fatalf("iterator skyline %v != batch skyline %v", sortedGot, want)
+		}
+		// Emission order: decreasing coordinate sum.
+		for i := 1; i < len(got); i++ {
+			if recs[got[i-1]].Sum() < recs[got[i]].Sum()-1e-12 {
+				t.Fatalf("iterator emitted out of order: %v then %v",
+					recs[got[i-1]], recs[got[i]])
+			}
+		}
+		if len(it.Found()) != len(got) {
+			t.Fatal("Found() disagrees with emitted count")
+		}
+	}
+}
+
+func TestSkylineIteratorEarlyStop(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	recs := randRecords(rng, 400, 3)
+	tr, _ := Build(recs, WithFanout(8))
+	it := tr.NewSkylineIterator(nil)
+	first := it.Next()
+	if first < 0 {
+		t.Fatal("empty skyline for 400 records")
+	}
+	// The first emission must be the record with the maximal coordinate sum
+	// among skyline members (heap order guarantees it).
+	for _, id := range tr.Skyline(nil) {
+		if recs[id].Sum() > recs[first].Sum()+1e-12 {
+			t.Fatalf("first emitted %v but %v has larger sum", recs[first], recs[id])
+		}
+	}
+}
+
+func TestSkylineIteratorWithExclusions(t *testing.T) {
+	rng := rand.New(rand.NewSource(85))
+	recs := randRecords(rng, 200, 3)
+	tr, _ := Build(recs, WithFanout(8))
+	exSet := map[int]bool{}
+	for _, id := range tr.Skyline(nil) {
+		exSet[id] = true
+	}
+	ex := func(id int) bool { return exSet[id] }
+	it := tr.NewSkylineIterator(ex)
+	var got []int
+	for {
+		id := it.Next()
+		if id < 0 {
+			break
+		}
+		got = append(got, id)
+	}
+	sort.Ints(got)
+	if !equalInts(got, tr.Skyline(ex)) {
+		t.Fatal("iterator with exclusions disagrees with batch skyline")
+	}
+}

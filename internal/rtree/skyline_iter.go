@@ -1,0 +1,74 @@
+package rtree
+
+import (
+	"container/heap"
+
+	"repro/internal/geom"
+)
+
+// SkylineIterator streams skyline records one at a time in decreasing
+// max-corner coordinate-sum order — the incremental branch-and-bound
+// skyline (BBS) of Papadias et al. that the paper's Algorithm 2 invokes as
+// Incremental-BBS. Each Next() performs only the work needed to surface the
+// next skyline member, so callers that stop early (progressive consumers)
+// never pay for the full skyline.
+//
+// The exclusion set is fixed for the iterator's lifetime. P-CTA's batch
+// loop changes its exclusion set (the non-pivot union) between rounds,
+// which is why core re-runs Skyline per batch instead of keeping one
+// iterator; the iterator exists for single-pass consumers (and documents
+// the paper's primitive faithfully).
+type SkylineIterator struct {
+	t       *Tree
+	exclude ExcludeFunc
+	h       *entryHeap
+	sky     []geom.Vector
+	skyIDs  []int
+}
+
+// NewSkylineIterator starts an incremental skyline scan.
+func (t *Tree) NewSkylineIterator(exclude ExcludeFunc) *SkylineIterator {
+	it := &SkylineIterator{t: t, exclude: exclude, h: &entryHeap{}}
+	t.visit(t.Root)
+	for _, e := range t.Root.Entries {
+		heap.Push(it.h, heapItem{e, e.High.Sum()})
+	}
+	return it
+}
+
+// Next returns the next skyline record id, or -1 when the skyline is
+// exhausted.
+func (it *SkylineIterator) Next() int {
+	for it.h.Len() > 0 {
+		item := heap.Pop(it.h).(heapItem)
+		e := item.entry
+		if dominatedByAny(it.sky, e.High) {
+			continue
+		}
+		if e.Child != nil {
+			it.t.visit(e.Child)
+			for _, ce := range e.Child.Entries {
+				if !dominatedByAny(it.sky, ce.High) {
+					heap.Push(it.h, heapItem{ce, ce.High.Sum()})
+				}
+			}
+			continue
+		}
+		if it.exclude != nil && it.exclude(e.RecordID) {
+			continue
+		}
+		r := it.t.Records[e.RecordID]
+		if dominatedByAny(it.sky, r) {
+			continue
+		}
+		it.sky = append(it.sky, r)
+		it.skyIDs = append(it.skyIDs, e.RecordID)
+		return e.RecordID
+	}
+	return -1
+}
+
+// Found returns the ids surfaced so far (in emission order).
+func (it *SkylineIterator) Found() []int {
+	return append([]int(nil), it.skyIDs...)
+}

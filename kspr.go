@@ -1,0 +1,329 @@
+// Package kspr identifies k-Shortlist Preference Regions: the regions of
+// the preference space in which a focal record ranks among the top-k
+// options of a dataset under linear scoring. It implements the SIGMOD 2017
+// paper "Determining the Impact Regions of Competing Options in Preference
+// Space" by Tang, Mouratidis and Yiu — the CellTree-based algorithms CTA,
+// P-CTA and LP-CTA, together with their substrates (aggregate R-tree,
+// simplex LP solver, exact cell geometry).
+//
+// # Model
+//
+// Records are d-dimensional vectors with "larger is better" attributes. A
+// user preference is a weight vector w (w_i > 0, Σ w_i = 1) and the score
+// of record r is the weighted sum r·w. The kSPR query for a focal record p
+// and shortlist size k reports every region of the preference space where p
+// scores among the k best records. Regions are returned in the transformed
+// (d-1)-dimensional space obtained by eliminating the last weight through
+// the normalization Σ w_i = 1; use geom-style Lift semantics (append
+// 1 - Σ w_j) to move back to original weights.
+//
+// # Quickstart
+//
+//	db, _ := kspr.Open(records)           // records [][]float64
+//	res, _ := db.KSPR(focalIdx, 10)       // where is record focalIdx top-10?
+//	for _, region := range res.Regions {
+//	    fmt.Println(region.Witness, region.Rank)
+//	}
+//	fmt.Println(db.ImpactProbability(res, 100000, 1)) // market impact
+package kspr
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/rtree"
+	"repro/internal/viz"
+)
+
+// Algorithm selects the processing strategy; LPCTA is the paper's best and
+// the default.
+type Algorithm = core.Algorithm
+
+// Algorithm values.
+const (
+	CTA         = core.CTA
+	PCTA        = core.PCTA
+	LPCTA       = core.LPCTA
+	KSkybandCTA = core.KSkybandCTA
+)
+
+// Space selects the preference space regions are computed in.
+type Space = core.Space
+
+// Space values.
+const (
+	Transformed = core.Transformed
+	Original    = core.Original
+)
+
+// BoundsMode selects LP-CTA's look-ahead bound flavour.
+type BoundsMode = core.BoundsMode
+
+// BoundsMode values.
+const (
+	FastBounds   = core.FastBounds
+	GroupBounds  = core.GroupBounds
+	RecordBounds = core.RecordBounds
+)
+
+// Region is a single kSPR result region; see core.Region for field docs.
+type Region = core.Region
+
+// Result is a complete kSPR answer; see core.Result for field docs.
+type Result = core.Result
+
+// Stats are the query's side metrics; see core.Stats for field docs.
+type Stats = core.Stats
+
+// DB is an in-memory dataset indexed for kSPR and related rank-aware
+// queries. It is safe for concurrent readers once built.
+type DB struct {
+	tree *rtree.Tree
+}
+
+// DBOption configures Open.
+type DBOption func(*dbConfig)
+
+type dbConfig struct {
+	fanout int
+}
+
+// WithFanout sets the R-tree node capacity (default 64).
+func WithFanout(f int) DBOption {
+	return func(c *dbConfig) { c.fanout = f }
+}
+
+// Open copies the records and bulk-loads the aggregate R-tree index over
+// them. Every record must have the same, >= 2, dimensionality.
+func Open(records [][]float64, opts ...DBOption) (*DB, error) {
+	if len(records) == 0 {
+		return nil, fmt.Errorf("kspr: empty dataset")
+	}
+	cfg := dbConfig{fanout: rtree.DefaultFanout}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	d := len(records[0])
+	if d < 2 {
+		return nil, fmt.Errorf("kspr: records must have at least 2 attributes, got %d", d)
+	}
+	recs := make([]geom.Vector, len(records))
+	for i, r := range records {
+		if len(r) != d {
+			return nil, fmt.Errorf("kspr: record %d has %d attributes, want %d", i, len(r), d)
+		}
+		recs[i] = geom.Vector(r).Clone()
+	}
+	tree, err := rtree.Build(recs, rtree.WithFanout(cfg.fanout))
+	if err != nil {
+		return nil, fmt.Errorf("kspr: building index: %w", err)
+	}
+	return &DB{tree: tree}, nil
+}
+
+// Len returns the number of records.
+func (db *DB) Len() int { return db.tree.Len() }
+
+// Dim returns the attribute dimensionality d.
+func (db *DB) Dim() int { return db.tree.Dim }
+
+// Record returns (a copy of) the record at id.
+func (db *DB) Record(id int) []float64 {
+	return geom.Vector(db.tree.Records[id]).Clone()
+}
+
+// QueryOption configures a kSPR query.
+type QueryOption func(*core.Options)
+
+// WithAlgorithm selects the processing algorithm (default LPCTA).
+func WithAlgorithm(a Algorithm) QueryOption {
+	return func(o *core.Options) { o.Algorithm = a }
+}
+
+// WithSpace selects the preference space (default Transformed).
+func WithSpace(s Space) QueryOption {
+	return func(o *core.Options) { o.Space = s }
+}
+
+// WithBoundsMode selects the LP-CTA bound mode (default FastBounds).
+func WithBoundsMode(m BoundsMode) QueryOption {
+	return func(o *core.Options) { o.Bounds = m }
+}
+
+// WithProgressive streams regions to fn as soon as they are final.
+func WithProgressive(fn func(Region)) QueryOption {
+	return func(o *core.Options) { o.OnRegion = fn }
+}
+
+// WithVolumes measures each region (exact up to 2-d preference spaces,
+// Monte-Carlo above with the given sample count).
+func WithVolumes(samples int) QueryOption {
+	return func(o *core.Options) {
+		o.ComputeVolumes = true
+		o.VolumeSamples = samples
+	}
+}
+
+// WithSeed fixes the randomization seed used by estimators.
+func WithSeed(seed int64) QueryOption {
+	return func(o *core.Options) { o.Seed = seed }
+}
+
+// WithoutGeometry skips the exact-geometry finalization step; regions then
+// carry constraints and witnesses but no vertex lists.
+func WithoutGeometry() QueryOption {
+	return func(o *core.Options) { o.FinalizeGeometry = false }
+}
+
+// WithParallelBounds computes LP-CTA's look-ahead rank bounds on all CPU
+// cores. Results are identical to the serial run (decisions apply in a
+// deterministic order); only wall-clock time changes.
+func WithParallelBounds() QueryOption {
+	return func(o *core.Options) { o.Parallel = true }
+}
+
+// KSPR answers the k-Shortlist Preference Region query for the dataset
+// record with index focalID.
+func (db *DB) KSPR(focalID, k int, opts ...QueryOption) (*Result, error) {
+	if focalID < 0 || focalID >= db.Len() {
+		return nil, fmt.Errorf("kspr: focal id %d out of range [0, %d)", focalID, db.Len())
+	}
+	return db.query(db.tree.Records[focalID], focalID, k, opts)
+}
+
+// KSPRVector answers the query for a focal record that is not part of the
+// dataset (e.g. a hypothetical new option).
+func (db *DB) KSPRVector(focal []float64, k int, opts ...QueryOption) (*Result, error) {
+	return db.query(geom.Vector(focal), -1, k, opts)
+}
+
+func (db *DB) query(focal geom.Vector, focalID, k int, opts []QueryOption) (*Result, error) {
+	o := core.Options{
+		K:                k,
+		Algorithm:        LPCTA,
+		FinalizeGeometry: true,
+	}
+	for _, f := range opts {
+		f(&o)
+	}
+	return core.Run(db.tree, focal, focalID, o)
+}
+
+// ApproxResult is the outcome of the approximate kSPR query; see
+// core.ApproxResult for field docs.
+type ApproxResult = core.ApproxResult
+
+// KSPRApprox answers the query approximately with an accuracy guarantee:
+// it returns regions where the focal record is provably top-k plus an
+// uncertain set whose measure is at most epsilon times the preference
+// space. It implements the approximate processing the paper proposes as
+// future work (§8) and can be much faster than the exact algorithms when
+// the kSPR result has intricate boundaries.
+func (db *DB) KSPRApprox(focalID, k int, epsilon float64) (*ApproxResult, error) {
+	if focalID < 0 || focalID >= db.Len() {
+		return nil, fmt.Errorf("kspr: focal id %d out of range [0, %d)", focalID, db.Len())
+	}
+	return core.RunApprox(db.tree, db.tree.Records[focalID], focalID,
+		core.ApproxOptions{K: k, Epsilon: epsilon})
+}
+
+// KSPRApproxVector is KSPRApprox for a focal record outside the dataset.
+func (db *DB) KSPRApproxVector(focal []float64, k int, epsilon float64) (*ApproxResult, error) {
+	return core.RunApprox(db.tree, geom.Vector(focal), -1,
+		core.ApproxOptions{K: k, Epsilon: epsilon})
+}
+
+// SVGOptions control WriteSVG rendering.
+type SVGOptions = viz.Options
+
+// WriteSVG renders a (2-dimensional transformed-space, i.e. d=3 data)
+// result as an SVG plot in the style of the paper's Figures 1(b) and 9:
+// regions coloured by rank over the preference simplex.
+func WriteSVG(w io.Writer, res *Result, opts SVGOptions) error {
+	return viz.WriteSVG(w, res, opts)
+}
+
+// TopK returns the ids of the k best records under original-space weights
+// w (len d, need not be normalized), best first.
+func (db *DB) TopK(w []float64, k int) []int {
+	return db.tree.TopK(geom.Vector(w), k, nil)
+}
+
+// Skyline returns the ids of the records dominated by no other.
+func (db *DB) Skyline() []int { return db.tree.Skyline(nil) }
+
+// KSkyband returns the ids of records dominated by fewer than k others.
+func (db *DB) KSkyband(k int) []int { return db.tree.KSkyband(k, nil) }
+
+// Rank computes the rank of record focalID under weights w (1 = best);
+// ties with other records are ignored, as in the paper.
+func (db *DB) Rank(focalID int, w []float64) int {
+	wv := geom.Vector(w)
+	focal := db.tree.Records[focalID]
+	ps := focal.Dot(wv)
+	rank := 1
+	for id, rec := range db.tree.Records {
+		if id == focalID || rec.Equal(focal) {
+			continue
+		}
+		if rec.Dot(wv) > ps {
+			rank++
+		}
+	}
+	return rank
+}
+
+// ImpactProbability estimates the probability that the focal record of res
+// is shortlisted for a uniformly random preference vector: the measure of
+// the result regions relative to the whole preference space (§1's market
+// impact measure). It samples uniformly from the weight simplex.
+func (db *DB) ImpactProbability(res *Result, samples int, seed int64) float64 {
+	return db.ImpactProbabilityPDF(res, nil, samples, seed)
+}
+
+// ImpactProbabilityPDF generalizes ImpactProbability to a known preference
+// density: pdf receives original-space weights (length d, summing to 1) and
+// returns a non-negative (not necessarily normalized) density. A nil pdf
+// means uniform.
+func (db *DB) ImpactProbabilityPDF(res *Result, pdf func(w []float64) float64, samples int, seed int64) float64 {
+	if samples <= 0 {
+		samples = 10000
+	}
+	rng := rand.New(rand.NewSource(seed))
+	d := db.Dim()
+	var hitMass, totalMass float64
+	raw := make([]float64, d)
+	for s := 0; s < samples; s++ {
+		var sum float64
+		for i := range raw {
+			raw[i] = rng.ExpFloat64() + 1e-12
+			sum += raw[i]
+		}
+		w := make(geom.Vector, d)
+		for i := range w {
+			w[i] = raw[i] / sum
+		}
+		mass := 1.0
+		if pdf != nil {
+			mass = pdf(w)
+			if mass < 0 {
+				mass = 0
+			}
+		}
+		totalMass += mass
+		probe := w[:d-1]
+		if res.Space == Original {
+			probe = w
+		}
+		if res.ContainsWeight(probe, 1e-9) {
+			hitMass += mass
+		}
+	}
+	if totalMass == 0 {
+		return 0
+	}
+	return hitMass / totalMass
+}

@@ -1,0 +1,276 @@
+package kspr
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func randRecords(rng *rand.Rand, n, d int) [][]float64 {
+	out := make([][]float64, n)
+	for i := range out {
+		r := make([]float64, d)
+		for j := range r {
+			r[j] = rng.Float64()
+		}
+		out[i] = r
+	}
+	return out
+}
+
+func TestOpenValidation(t *testing.T) {
+	if _, err := Open(nil); err == nil {
+		t.Fatal("expected error for empty dataset")
+	}
+	if _, err := Open([][]float64{{1}}); err == nil {
+		t.Fatal("expected error for 1-d records")
+	}
+	if _, err := Open([][]float64{{1, 2}, {1, 2, 3}}); err == nil {
+		t.Fatal("expected error for ragged records")
+	}
+}
+
+func TestOpenCopiesRecords(t *testing.T) {
+	recs := [][]float64{{0.1, 0.2}, {0.3, 0.4}}
+	db, err := Open(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs[0][0] = 99
+	if db.Record(0)[0] == 99 {
+		t.Fatal("DB aliases caller memory")
+	}
+}
+
+func TestBasicQueryAndAccessors(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	db, err := Open(randRecords(rng, 100, 3), WithFanout(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Len() != 100 || db.Dim() != 3 {
+		t.Fatalf("shape %dx%d", db.Len(), db.Dim())
+	}
+	focal := db.Skyline()[0]
+	res, err := db.KSPR(focal, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Regions) == 0 {
+		t.Fatal("skyline record with k=5 should have regions")
+	}
+	if _, err := db.KSPR(-1, 5); err == nil {
+		t.Fatal("expected error for bad focal id")
+	}
+	if _, err := db.KSPR(0, 0); err == nil {
+		t.Fatal("expected error for k=0")
+	}
+}
+
+func TestKSPRVector(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	db, err := Open(randRecords(rng, 60, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.KSPRVector([]float64{1.01, 1.01, 1.01}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A record dominating everything is top-1 everywhere: regions must
+	// cover the whole simplex.
+	prob := db.ImpactProbability(res, 20000, 7)
+	if prob < 0.999 {
+		t.Fatalf("dominating record has impact probability %v, want ~1", prob)
+	}
+}
+
+func TestQueryOptionsAreHonoured(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	db, err := Open(randRecords(rng, 80, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	focal := db.Skyline()[0]
+
+	var streamed int
+	res, err := db.KSPR(focal, 3,
+		WithAlgorithm(PCTA),
+		WithProgressive(func(Region) { streamed++ }),
+		WithVolumes(3000),
+		WithSeed(11),
+		WithoutGeometry(),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if streamed != len(res.Regions) {
+		t.Fatalf("streamed %d regions, result has %d", streamed, len(res.Regions))
+	}
+	for _, reg := range res.Regions {
+		if reg.Vertices != nil {
+			t.Fatal("WithoutGeometry left vertices")
+		}
+	}
+	if res.TotalVolume() <= 0 {
+		t.Fatal("WithVolumes produced no volume")
+	}
+
+	orig, err := db.KSPR(focal, 3, WithSpace(Original))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if orig.Space != Original {
+		t.Fatal("WithSpace(Original) ignored")
+	}
+}
+
+func TestTopKAndRankConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	db, err := Open(randRecords(rng, 120, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := []float64{0.4, 0.3, 0.2, 0.1}
+	top := db.TopK(w, 10)
+	if len(top) != 10 {
+		t.Fatalf("TopK returned %d ids", len(top))
+	}
+	for i, id := range top {
+		if got := db.Rank(id, w); got != i+1 {
+			t.Fatalf("record %d: TopK position %d but Rank %d", id, i+1, got)
+		}
+	}
+}
+
+func TestKSPRResultAgreesWithTopK(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	db, err := Open(randRecords(rng, 90, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	focal := db.Skyline()[0]
+	k := 4
+	res, err := db.KSPR(focal, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// For random weights, membership in regions must match top-k presence.
+	for s := 0; s < 300; s++ {
+		raw := [3]float64{rng.ExpFloat64() + 1e-9, rng.ExpFloat64() + 1e-9, rng.ExpFloat64() + 1e-9}
+		sum := raw[0] + raw[1] + raw[2]
+		w := []float64{raw[0] / sum, raw[1] / sum, raw[2] / sum}
+		rank := db.Rank(focal, w)
+		if rank == k || rank == k+1 {
+			continue // ties at the boundary are fair game either way
+		}
+		in := res.ContainsWeight([]float64{w[0], w[1]}, 1e-9)
+		if in != (rank <= k) {
+			if res.ContainsWeight([]float64{w[0], w[1]}, 1e-6) != res.ContainsWeight([]float64{w[0], w[1]}, -1e-6) {
+				continue
+			}
+			t.Fatalf("w=%v rank=%d in=%v", w, rank, in)
+		}
+	}
+}
+
+func TestImpactProbabilityPDF(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	db, err := Open(randRecords(rng, 70, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	focal := db.Skyline()[0]
+	res, err := db.KSPR(focal, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uniform := db.ImpactProbability(res, 30000, 9)
+	viaPDF := db.ImpactProbabilityPDF(res, func([]float64) float64 { return 2.5 }, 30000, 9)
+	if math.Abs(uniform-viaPDF) > 1e-12 {
+		t.Fatalf("constant pdf must match uniform: %v vs %v", uniform, viaPDF)
+	}
+	if uniform < 0 || uniform > 1 {
+		t.Fatalf("probability %v out of range", uniform)
+	}
+	// A pdf concentrated on a witness region should raise the probability.
+	if len(res.Regions) > 0 {
+		wit := res.Regions[0].Witness
+		peaked := db.ImpactProbabilityPDF(res, func(w []float64) float64 {
+			d := 0.0
+			for j := range wit {
+				d += (w[j] - wit[j]) * (w[j] - wit[j])
+			}
+			return math.Exp(-50 * d)
+		}, 30000, 9)
+		if peaked <= uniform {
+			t.Fatalf("pdf peaked inside a region should exceed uniform: %v <= %v", peaked, uniform)
+		}
+	}
+}
+
+func TestSkybandContainsSkyline(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	db, err := Open(randRecords(rng, 150, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sky := db.Skyline()
+	band := db.KSkyband(3)
+	set := map[int]bool{}
+	for _, id := range band {
+		set[id] = true
+	}
+	for _, id := range sky {
+		if !set[id] {
+			t.Fatalf("skyline record %d missing from 3-skyband", id)
+		}
+	}
+	if len(band) < len(sky) {
+		t.Fatal("3-skyband smaller than skyline")
+	}
+}
+
+func TestKSPRApprox(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	db, err := Open(randRecords(rng, 150, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	focal := db.Skyline()[0]
+	res, err := db.KSPRApprox(focal, 5, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("approximate query did not converge")
+	}
+	// Certain regions must agree with the exact result wherever sampled.
+	exact, err := db.KSPR(focal, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agree := 0
+	for s := 0; s < 200; s++ {
+		a, b := rng.Float64(), rng.Float64()
+		if a+b >= 1 {
+			continue
+		}
+		wt := []float64{a, b}
+		if res.ContainsWeight(wt, 1e-9) {
+			if !exact.ContainsWeight(wt, 1e-7) {
+				t.Fatalf("approx-certain point %v not in exact result", wt)
+			}
+			agree++
+		}
+	}
+	if agree == 0 {
+		t.Skip("no certain hits sampled; focal region too small")
+	}
+	if _, err := db.KSPRApprox(-1, 5, 0.1); err == nil {
+		t.Fatal("expected error for bad focal id")
+	}
+	if _, err := db.KSPRApproxVector([]float64{0.9, 0.9, 0.9}, 3, 0.05); err != nil {
+		t.Fatal(err)
+	}
+}
