@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: build test race bench fmt vet clean
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# bench writes BENCH_local.json (ns/op per algorithm) for perf tracking.
+bench:
+	$(GO) run ./cmd/ksprbench -json -name local -scale 0.5 -queries 3
+
+fmt:
+	gofmt -l .
+
+vet:
+	$(GO) vet ./...
+
+clean:
+	rm -f BENCH_*.json

@@ -47,11 +47,16 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	records := make([][]float64, ds.Len())
-	for i, r := range ds.Records {
-		records[i] = r
+	if *k < 1 {
+		fmt.Fprintf(os.Stderr, "kspr: -k must be at least 1, got %d\n", *k)
+		os.Exit(2)
 	}
-	db, err := kspr.Open(records)
+	if *focal < 0 || *focal >= ds.Len() {
+		fmt.Fprintf(os.Stderr, "kspr: -focal %d is out of range: %s has records 0..%d\n",
+			*focal, *dataPath, ds.Len()-1)
+		os.Exit(2)
+	}
+	db, err := kspr.Open(ds.Float64s())
 	if err != nil {
 		fatal(err)
 	}

@@ -9,14 +9,24 @@
 // Absolute numbers differ from the paper (different hardware, language,
 // and scale); the shapes — who wins, by roughly what factor, where trends
 // bend — are what the harness reproduces. See EXPERIMENTS.md.
+//
+// With -json the command instead runs a fixed per-algorithm micro-benchmark
+// and writes BENCH_<name>.json (ns/op per algorithm), so successive PRs can
+// diff serving performance:
+//
+//	ksprbench -json -name pr12 -scale 0.5
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
+	kspr "repro"
+	"repro/internal/dataset"
 	"repro/internal/experiments"
 )
 
@@ -28,8 +38,21 @@ func main() {
 		seed    = flag.Int64("seed", 1, "random seed")
 		skyband = flag.Bool("skyband-focals", false, "draw focal records from the K-skyband (non-trivial queries) instead of uniformly")
 		list    = flag.Bool("list", false, "list experiments and exit")
+		asJSON  = flag.Bool("json", false, "run the per-algorithm micro-benchmark and write BENCH_<name>.json")
+		name    = flag.String("name", "main", "benchmark name for the -json summary file")
+		dist    = flag.String("dist", "IND", "benchmark data distribution for -json: IND, COR, ANTI")
+		dims    = flag.Int("d", 4, "benchmark dimensionality for -json")
+		kFlag   = flag.Int("k", 10, "benchmark shortlist size for -json")
 	)
 	flag.Parse()
+
+	if *asJSON {
+		if err := runBenchJSON(*name, *dist, *dims, *kFlag, *scale, *queries, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, "ksprbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *list {
 		for _, e := range experiments.All() {
@@ -67,4 +90,109 @@ func main() {
 		os.Exit(2)
 	}
 	run(e)
+}
+
+// benchSummary is the schema of BENCH_<name>.json. Algorithms maps
+// algorithm name to average ns/op over the benchmark's queries.
+type benchSummary struct {
+	Name       string           `json:"name"`
+	Timestamp  string           `json:"timestamp"`
+	GoVersion  string           `json:"go_version"`
+	GOOS       string           `json:"goos"`
+	GOARCH     string           `json:"goarch"`
+	Dist       string           `json:"dist"`
+	N          int              `json:"n"`
+	D          int              `json:"d"`
+	K          int              `json:"k"`
+	Queries    int              `json:"queries"`
+	Seed       int64            `json:"seed"`
+	Algorithms map[string]int64 `json:"ns_per_op"`
+}
+
+// runBenchJSON times every algorithm on one synthetic workload and writes
+// the ns/op summary to BENCH_<name>.json in the working directory.
+func runBenchJSON(name, dist string, d, k int, scale float64, queries int, seed int64) error {
+	n := int(2000 * scale)
+	if n < 100 {
+		n = 100
+	}
+	if queries < 1 {
+		queries = 1
+	}
+	ds, err := dataset.Generate(dataset.Distribution(dist), n, d, seed)
+	if err != nil {
+		return err
+	}
+	db, err := kspr.Open(ds.Float64s())
+	if err != nil {
+		return err
+	}
+
+	// Focal records come from the k-skyband so every query does real work
+	// (a dominated focal short-circuits to an empty result immediately).
+	band := db.KSkyband(k)
+	if len(band) == 0 {
+		return fmt.Errorf("empty %d-skyband", k)
+	}
+	focals := make([]int, queries)
+	for i := range focals {
+		focals[i] = band[i*len(band)/queries]
+	}
+
+	sum := benchSummary{
+		Name:      name,
+		Timestamp: time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		Dist:      dist, N: n, D: d, K: k,
+		Queries:    queries,
+		Seed:       seed,
+		Algorithms: map[string]int64{},
+	}
+	algos := []struct {
+		label string
+		algo  kspr.Algorithm
+	}{
+		{"CTA", kspr.CTA},
+		{"P-CTA", kspr.PCTA},
+		{"LP-CTA", kspr.LPCTA},
+		{"k-skyband", kspr.KSkybandCTA},
+	}
+	for _, a := range algos {
+		start := time.Now()
+		for _, f := range focals {
+			if _, err := db.KSPR(f, k, kspr.WithAlgorithm(a.algo), kspr.WithoutGeometry()); err != nil {
+				return fmt.Errorf("%s focal %d: %w", a.label, f, err)
+			}
+		}
+		sum.Algorithms[a.label] = time.Since(start).Nanoseconds() / int64(len(focals))
+		fmt.Printf("%-10s %12d ns/op\n", a.label, sum.Algorithms[a.label])
+	}
+	// The approximate query is part of the serving surface; track it too.
+	start := time.Now()
+	for _, f := range focals {
+		if _, err := db.KSPRApprox(f, k, 0.05); err != nil {
+			return fmt.Errorf("approx focal %d: %w", f, err)
+		}
+	}
+	sum.Algorithms["approx"] = time.Since(start).Nanoseconds() / int64(len(focals))
+	fmt.Printf("%-10s %12d ns/op\n", "approx", sum.Algorithms["approx"])
+
+	out := fmt.Sprintf("BENCH_%s.json", name)
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(sum); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%s n=%d d=%d k=%d, %d queries)\n", out, dist, n, d, k, queries)
+	return nil
 }

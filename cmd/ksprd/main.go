@@ -1,0 +1,90 @@
+// Command ksprd serves kSPR and related rank-aware queries over HTTP/JSON:
+// a long-lived daemon with a hot-reloadable dataset registry, a bounded
+// worker pool, a sharded result cache, and JSON metrics.
+//
+// Start it with a preloaded dataset and query it:
+//
+//	ksprgen -dist IND -n 5000 -d 3 -o d.csv
+//	ksprd -addr :8080 -data demo=d.csv &
+//	curl -s localhost:8080/v1/kspr -d '{"dataset":"demo","focal":17,"k":10}'
+//	curl -s localhost:8080/metrics
+//
+// Datasets can also be loaded (and hot-reloaded) at runtime via
+// POST /v1/datasets; see the root README for the full API.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+)
+
+// dataFlags collects repeated -data name=path pairs.
+type dataFlags []string
+
+func (d *dataFlags) String() string { return strings.Join(*d, ",") }
+func (d *dataFlags) Set(s string) error {
+	*d = append(*d, s)
+	return nil
+}
+
+func main() {
+	var preload dataFlags
+	var (
+		addr    = flag.String("addr", ":8080", "listen address")
+		workers = flag.Int("workers", 0, "worker pool size (0 = 4)")
+		queue   = flag.Int("queue", 0, "worker queue length (0 = 64)")
+		cache   = flag.Int("cache", 0, "result cache capacity in entries (0 = 1024)")
+		shards  = flag.Int("cache-shards", 0, "result cache shard count (0 = 8)")
+		timeout = flag.Duration("timeout", 30*time.Second, "default per-query timeout")
+		maxWait = flag.Duration("max-timeout", 5*time.Minute, "largest per-query timeout a request may ask for")
+		grace   = flag.Duration("grace", 15*time.Second, "shutdown grace period")
+	)
+	flag.Var(&preload, "data", "preload dataset as name=path.csv (repeatable)")
+	flag.Parse()
+
+	srv := server.NewServer(server.Config{
+		Workers:        *workers,
+		Queue:          *queue,
+		CacheCapacity:  *cache,
+		CacheShards:    *shards,
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxWait,
+	})
+	for _, spec := range preload {
+		name, path, ok := strings.Cut(spec, "=")
+		if !ok || name == "" || path == "" {
+			fatal(fmt.Errorf("invalid -data %q, want name=path.csv", spec))
+		}
+		snap, err := srv.Registry().LoadCSV(name, path)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "ksprd: loaded %q: %d records, d=%d (generation %d)\n",
+			name, snap.DB.Len(), snap.DB.Dim(), snap.Generation)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	fmt.Fprintf(os.Stderr, "ksprd: listening on %s\n", *addr)
+	err := srv.ListenAndServe(ctx, *addr, *grace)
+	if err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fatal(err)
+	}
+	fmt.Fprintln(os.Stderr, "ksprd: shut down cleanly")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ksprd:", err)
+	os.Exit(1)
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 
 	"repro/internal/celltree"
@@ -38,6 +39,9 @@ type ApproxOptions struct {
 	Epsilon float64
 	// MaxCells caps the number of boxes examined (0 = 1<<20).
 	MaxCells int
+	// Ctx, when non-nil, cancels the refinement loop; RunApprox then
+	// returns ctx.Err(). A nil Ctx never cancels.
+	Ctx context.Context
 }
 
 // boxItem is a subdivision box ordered by volume (largest first), so
@@ -84,7 +88,7 @@ func RunApprox(tree *rtree.Tree, focal geom.Vector, focalID int, opts ApproxOpti
 	dim := tree.Dim - 1
 	r := &runner{
 		tree: tree, focal: focal, focalID: focalID,
-		opts:   Options{K: opts.K, Algorithm: LPCTA},
+		opts:   Options{K: opts.K, Algorithm: LPCTA, Ctx: opts.Ctx},
 		dim:    dim,
 		bounds: geom.SpaceBoundsTransformed(dim),
 	}
@@ -124,6 +128,9 @@ func RunApprox(tree *rtree.Tree, focal geom.Vector, focalID int, opts ApproxOpti
 	examined := 0
 
 	for boxes.Len() > 0 && uncertainVol > budget && examined < opts.MaxCells {
+		if err := r.cancelled(); err != nil {
+			return nil, err
+		}
 		box := heap.Pop(boxes).(boxItem)
 		uncertainVol -= box.vol
 		examined++

@@ -48,6 +48,10 @@ func (r *runner) boundFreshLeaves() error {
 					if i >= len(live) {
 						return
 					}
+					if err := r.cancelled(); err != nil {
+						errOnce.Do(func() { firstErr = err })
+						return
+					}
 					lo, hi, err := r.rankBounds(live[i], &stats[w])
 					if err != nil {
 						errOnce.Do(func() { firstErr = err })
@@ -67,6 +71,9 @@ func (r *runner) boundFreshLeaves() error {
 		}
 	} else {
 		for i, leaf := range live {
+			if err := r.cancelled(); err != nil {
+				return err
+			}
 			lo, hi, err := r.rankBounds(leaf, &r.lpStats)
 			if err != nil {
 				return err

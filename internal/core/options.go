@@ -5,6 +5,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -120,6 +121,11 @@ type Options struct {
 	// identical to the serial run). Off by default: the paper's algorithms
 	// are single-threaded.
 	Parallel bool
+	// Ctx, when non-nil, is polled at cell-tree expansion points (record
+	// insertion, rank-bound classification, batch boundaries). Once it is
+	// done, Run abandons the query and returns ctx.Err(), so callers can
+	// impose deadlines and cancel in-flight work. A nil Ctx never cancels.
+	Ctx context.Context
 }
 
 // Region is one kSPR result region in the processing space (transformed by

@@ -39,6 +39,21 @@ func Run(tree *rtree.Tree, focal geom.Vector, focalID int, opts Options) (*Resul
 	return res, nil
 }
 
+// cancelled reports the Ctx error once the query's context is done. It is
+// the single cancellation check shared by every processing loop; with a nil
+// Ctx it is a constant-time no-op.
+func (r *runner) cancelled() error {
+	if r.opts.Ctx == nil {
+		return nil
+	}
+	select {
+	case <-r.opts.Ctx.Done():
+		return r.opts.Ctx.Err()
+	default:
+		return nil
+	}
+}
+
 // runner holds the per-query state shared by the algorithm variants.
 type runner struct {
 	tree    *rtree.Tree
@@ -147,6 +162,10 @@ func (r *runner) run() (*Result, error) {
 	// Emit every surviving leaf (rank is exact there).
 	var walkErr error
 	r.ct.LiveLeaves(func(n *celltree.Node) bool {
+		if err := r.cancelled(); err != nil {
+			walkErr = err
+			return false
+		}
 		rank := r.baseRank + r.ct.Rank(n)
 		if rank <= r.opts.K {
 			if err := r.emit(n, rank, true); err != nil {
@@ -254,6 +273,9 @@ func (r *runner) runCTA(ids []int) error {
 		if r.ct.Done() {
 			return nil
 		}
+		if err := r.cancelled(); err != nil {
+			return err
+		}
 		h := r.hyperplane(id)
 		if h.Kind != geom.Proper {
 			// Ties and constant shifts were filtered out; anything left is a
@@ -311,6 +333,9 @@ func (r *runner) runProgressive() error {
 		for _, id := range batch {
 			if r.ct.Done() {
 				break
+			}
+			if err := r.cancelled(); err != nil {
+				return err
 			}
 			h := r.hyperplane(id)
 			processed[id] = true

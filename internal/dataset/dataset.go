@@ -49,6 +49,16 @@ func (d *Dataset) Dim() int {
 // Len returns the cardinality.
 func (d *Dataset) Len() int { return len(d.Records) }
 
+// Float64s returns the records as plain [][]float64 rows (sharing the
+// backing arrays) — the shape kspr.Open consumes.
+func (d *Dataset) Float64s() [][]float64 {
+	out := make([][]float64, len(d.Records))
+	for i, r := range d.Records {
+		out[i] = r
+	}
+	return out
+}
+
 // Generate produces n d-dimensional records of the given distribution.
 func Generate(dist Distribution, n, d int, seed int64) (*Dataset, error) {
 	if n <= 0 || d <= 0 {

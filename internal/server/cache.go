@@ -1,0 +1,134 @@
+package server
+
+import (
+	"container/list"
+	"hash/fnv"
+	"sync"
+	"sync/atomic"
+)
+
+// Cache is a sharded LRU for query results. Keys embed the dataset
+// generation, so a reload naturally orphans stale entries (they age out of
+// the LRU without explicit invalidation). Values must be immutable once
+// cached — handlers share them across requests.
+type Cache struct {
+	shards []*cacheShard
+	hits   atomic.Uint64
+	misses atomic.Uint64
+}
+
+type cacheShard struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List // front = most recent
+	items map[string]*list.Element
+}
+
+type cacheEntry struct {
+	key string
+	val any
+}
+
+// NewCache builds a cache with the given shard count and total capacity
+// (entries, spread evenly across shards). Zero or negative arguments fall
+// back to 8 shards x 128 entries.
+func NewCache(shardCount, capacity int) *Cache {
+	if shardCount <= 0 {
+		shardCount = 8
+	}
+	if capacity <= 0 {
+		capacity = 1024
+	}
+	perShard := capacity / shardCount
+	if perShard < 1 {
+		perShard = 1
+	}
+	c := &Cache{shards: make([]*cacheShard, shardCount)}
+	for i := range c.shards {
+		c.shards[i] = &cacheShard{
+			cap:   perShard,
+			ll:    list.New(),
+			items: make(map[string]*list.Element),
+		}
+	}
+	return c
+}
+
+func (c *Cache) shard(key string) *cacheShard {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return c.shards[h.Sum32()%uint32(len(c.shards))]
+}
+
+// Get returns the cached value for key, recording a hit or miss.
+func (c *Cache) Get(key string) (any, bool) {
+	s := c.shard(key)
+	s.mu.Lock()
+	el, ok := s.items[key]
+	var val any
+	if ok {
+		s.ll.MoveToFront(el)
+		val = el.Value.(*cacheEntry).val
+	}
+	s.mu.Unlock()
+	if !ok {
+		c.misses.Add(1)
+		return nil, false
+	}
+	c.hits.Add(1)
+	return val, true
+}
+
+// Put inserts (or refreshes) key, evicting the shard's least recently used
+// entry when over capacity.
+func (c *Cache) Put(key string, val any) {
+	s := c.shard(key)
+	s.mu.Lock()
+	if el, ok := s.items[key]; ok {
+		el.Value.(*cacheEntry).val = val
+		s.ll.MoveToFront(el)
+		s.mu.Unlock()
+		return
+	}
+	s.items[key] = s.ll.PushFront(&cacheEntry{key: key, val: val})
+	for s.ll.Len() > s.cap {
+		oldest := s.ll.Back()
+		s.ll.Remove(oldest)
+		delete(s.items, oldest.Value.(*cacheEntry).key)
+	}
+	s.mu.Unlock()
+}
+
+// Len returns the total number of cached entries.
+func (c *Cache) Len() int {
+	n := 0
+	for _, s := range c.shards {
+		s.mu.Lock()
+		n += s.ll.Len()
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// CacheStats is the /metrics view of the cache.
+type CacheStats struct {
+	Hits    uint64  `json:"hits"`
+	Misses  uint64  `json:"misses"`
+	HitRate float64 `json:"hit_rate"`
+	Entries int     `json:"entries"`
+	Shards  int     `json:"shards"`
+}
+
+// Stats snapshots the counters.
+func (c *Cache) Stats() CacheStats {
+	st := CacheStats{
+		Hits:    c.hits.Load(),
+		Misses:  c.misses.Load(),
+		Entries: c.Len(),
+		Shards:  len(c.shards),
+	}
+	if total := st.Hits + st.Misses; total > 0 {
+		st.HitRate = float64(st.Hits) / float64(total)
+	}
+	return st
+}

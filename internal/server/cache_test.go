@@ -1,0 +1,81 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestCacheHitMissCounters(t *testing.T) {
+	c := NewCache(4, 64)
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("empty cache hit")
+	}
+	c.Put("a", 1)
+	v, ok := c.Get("a")
+	if !ok || v.(int) != 1 {
+		t.Fatalf("get a = %v, %v", v, ok)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Entries != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+	if st.HitRate != 0.5 {
+		t.Fatalf("hit rate %v, want 0.5", st.HitRate)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := NewCache(1, 3) // single shard, capacity 3
+	c.Put("a", 1)
+	c.Put("b", 2)
+	c.Put("c", 3)
+	c.Get("a")    // refresh a
+	c.Put("d", 4) // evicts b (least recently used)
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b should have been evicted")
+	}
+	for _, k := range []string{"a", "c", "d"} {
+		if _, ok := c.Get(k); !ok {
+			t.Fatalf("%s missing", k)
+		}
+	}
+	if n := c.Len(); n != 3 {
+		t.Fatalf("len %d, want 3", n)
+	}
+}
+
+func TestCacheUpdateExisting(t *testing.T) {
+	c := NewCache(2, 8)
+	c.Put("k", 1)
+	c.Put("k", 2)
+	if v, _ := c.Get("k"); v.(int) != 2 {
+		t.Fatalf("got %v, want 2", v)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("len %d", c.Len())
+	}
+}
+
+func TestCacheConcurrent(t *testing.T) {
+	c := NewCache(8, 256)
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				key := fmt.Sprintf("k%d", (g*13+i)%97)
+				if i%2 == 0 {
+					c.Put(key, i)
+				} else {
+					c.Get(key)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.Len() > 97 {
+		t.Fatalf("len %d exceeds distinct keys", c.Len())
+	}
+}

@@ -1,0 +1,826 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	kspr "repro"
+	"repro/internal/dataset"
+)
+
+// ---- wire types ----------------------------------------------------------
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+type loadRequest struct {
+	Name string `json:"name"`
+	// Exactly one source: a CSV file path, inline CSV text, or a synthetic
+	// generator spec.
+	Path     string       `json:"path,omitempty"`
+	CSV      string       `json:"csv,omitempty"`
+	Generate *generateReq `json:"generate,omitempty"`
+}
+
+type generateReq struct {
+	Dist string `json:"dist"` // IND | COR | ANTI
+	N    int    `json:"n"`
+	D    int    `json:"d"`
+	Seed int64  `json:"seed"`
+}
+
+type queryRequest struct {
+	Dataset string `json:"dataset"`
+	Focal   int    `json:"focal"`
+	// FocalVector queries a hypothetical record not in the dataset; when
+	// set, Focal is ignored.
+	FocalVector []float64 `json:"focal_vector,omitempty"`
+	K           int       `json:"k"`
+	Algorithm   string    `json:"algorithm,omitempty"` // cta | p-cta | lp-cta | k-skyband | approx
+	Space       string    `json:"space,omitempty"`     // transformed | original
+	Bounds      string    `json:"bounds,omitempty"`    // fast | group | record
+	Epsilon     float64   `json:"epsilon,omitempty"`   // approx accuracy target
+	Volumes     bool      `json:"volumes,omitempty"`
+	NoGeometry  bool      `json:"no_geometry,omitempty"`
+	Seed        int64     `json:"seed,omitempty"`
+	TimeoutMs   int       `json:"timeout_ms,omitempty"`
+	NoCache     bool      `json:"no_cache,omitempty"`
+}
+
+type regionWire struct {
+	Rank      int         `json:"rank"`
+	RankExact bool        `json:"rank_exact"`
+	Witness   []float64   `json:"witness"`
+	Vertices  [][]float64 `json:"vertices,omitempty"`
+	Volume    float64     `json:"volume,omitempty"`
+}
+
+type statsWire struct {
+	ProcessedRecords int     `json:"processed_records"`
+	CellTreeNodes    int     `json:"celltree_nodes"`
+	Batches          int     `json:"batches"`
+	BaseRank         int     `json:"base_rank"`
+	LPSolves         int     `json:"lp_solves"`
+	EarlyReported    int     `json:"early_reported"`
+	EarlyPruned      int     `json:"early_pruned"`
+	Regions          int     `json:"regions"`
+	ElapsedMs        float64 `json:"elapsed_ms"`
+}
+
+type queryResponse struct {
+	Dataset         string       `json:"dataset"`
+	Generation      uint64       `json:"generation"`
+	Focal           int          `json:"focal"`
+	K               int          `json:"k"`
+	Algorithm       string       `json:"algorithm"`
+	Space           string       `json:"space"`
+	Regions         []regionWire `json:"regions"`
+	UncertainCount  int          `json:"uncertain_regions,omitempty"`
+	UncertainVolume float64      `json:"uncertain_volume,omitempty"`
+	Converged       *bool        `json:"converged,omitempty"`
+	Stats           statsWire    `json:"stats"`
+	Cached          bool         `json:"cached"`
+}
+
+type batchQuery struct {
+	Focal int `json:"focal"`
+	K     int `json:"k"`
+}
+
+type batchRequest struct {
+	Dataset   string       `json:"dataset"`
+	Queries   []batchQuery `json:"queries"`
+	Algorithm string       `json:"algorithm,omitempty"`
+	Space     string       `json:"space,omitempty"`
+	Bounds    string       `json:"bounds,omitempty"`
+	Epsilon   float64      `json:"epsilon,omitempty"`
+	Volumes   bool         `json:"volumes,omitempty"`
+	Seed      int64        `json:"seed,omitempty"`
+	TimeoutMs int          `json:"timeout_ms,omitempty"`
+	NoCache   bool         `json:"no_cache,omitempty"`
+}
+
+// batchLine is one NDJSON line of the batch stream.
+type batchLine struct {
+	Index  int            `json:"index"`
+	Error  string         `json:"error,omitempty"`
+	Status int            `json:"status,omitempty"`
+	Result *queryResponse `json:"result,omitempty"`
+}
+
+type topkRequest struct {
+	Dataset string    `json:"dataset"`
+	Weights []float64 `json:"weights"`
+	K       int       `json:"k"`
+}
+
+type topkEntry struct {
+	ID    int     `json:"id"`
+	Score float64 `json:"score"`
+	Label string  `json:"label,omitempty"`
+}
+
+type topkResponse struct {
+	Dataset    string      `json:"dataset"`
+	Generation uint64      `json:"generation"`
+	K          int         `json:"k"`
+	Results    []topkEntry `json:"results"`
+}
+
+type skylineResponse struct {
+	Dataset    string   `json:"dataset"`
+	Generation uint64   `json:"generation"`
+	K          int      `json:"k,omitempty"` // >0: k-skyband
+	IDs        []int    `json:"ids"`
+	Labels     []string `json:"labels,omitempty"`
+	Count      int      `json:"count"`
+}
+
+type densityReq struct {
+	// Name selects the preference density: uniform (default), dirichlet
+	// (with Alpha, one concentration per attribute), or gaussian (with
+	// Center in the weight simplex and Sigma).
+	Name   string    `json:"name"`
+	Alpha  []float64 `json:"alpha,omitempty"`
+	Center []float64 `json:"center,omitempty"`
+	Sigma  float64   `json:"sigma,omitempty"`
+}
+
+type impactRequest struct {
+	Dataset   string      `json:"dataset"`
+	Focal     int         `json:"focal"`
+	K         int         `json:"k"`
+	Algorithm string      `json:"algorithm,omitempty"`
+	Samples   int         `json:"samples,omitempty"`
+	Seed      int64       `json:"seed,omitempty"`
+	Density   *densityReq `json:"density,omitempty"`
+	TimeoutMs int         `json:"timeout_ms,omitempty"`
+	NoCache   bool        `json:"no_cache,omitempty"`
+}
+
+type impactResponse struct {
+	Dataset     string  `json:"dataset"`
+	Generation  uint64  `json:"generation"`
+	Focal       int     `json:"focal"`
+	K           int     `json:"k"`
+	Density     string  `json:"density"`
+	Samples     int     `json:"samples"`
+	Probability float64 `json:"probability"`
+	Regions     int     `json:"regions"`
+	Cached      bool    `json:"cached"`
+}
+
+// ---- helpers -------------------------------------------------------------
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// errStatus maps a query error to an HTTP status: deadline expiry is 504
+// (the request-scoped timeout fired mid-query), cancellation 499-style 503,
+// pool shutdown 503, everything else 400 (all remaining library errors are
+// input validation: bad focal, bad k, ...).
+func errStatusCode(err error) int {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled), errors.Is(err, ErrPoolClosed):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 16<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid request body: %v", err)
+		return false
+	}
+	return true
+}
+
+func parseAlgorithm(s string) (kspr.Algorithm, bool, error) {
+	switch strings.ToLower(s) {
+	case "", "lp-cta", "lpcta":
+		return kspr.LPCTA, false, nil
+	case "cta":
+		return kspr.CTA, false, nil
+	case "p-cta", "pcta":
+		return kspr.PCTA, false, nil
+	case "k-skyband", "kskyband":
+		return kspr.KSkybandCTA, false, nil
+	case "approx":
+		return kspr.LPCTA, true, nil
+	default:
+		return 0, false, fmt.Errorf("unknown algorithm %q", s)
+	}
+}
+
+func parseSpace(s string) (kspr.Space, error) {
+	switch strings.ToLower(s) {
+	case "", "transformed":
+		return kspr.Transformed, nil
+	case "original":
+		return kspr.Original, nil
+	default:
+		return 0, fmt.Errorf("unknown space %q", s)
+	}
+}
+
+func parseBounds(s string) (kspr.BoundsMode, error) {
+	switch strings.ToLower(s) {
+	case "", "fast", "fast_bounds":
+		return kspr.FastBounds, nil
+	case "group", "group_bounds":
+		return kspr.GroupBounds, nil
+	case "record", "record_bounds":
+		return kspr.RecordBounds, nil
+	default:
+		return 0, fmt.Errorf("unknown bounds mode %q", s)
+	}
+}
+
+// timeout resolves the effective per-request deadline.
+func (s *Server) timeout(ms int) time.Duration {
+	t := s.cfg.DefaultTimeout
+	if ms > 0 {
+		t = time.Duration(ms) * time.Millisecond
+	}
+	if t > s.cfg.MaxTimeout {
+		t = s.cfg.MaxTimeout
+	}
+	return t
+}
+
+// ---- dataset admin -------------------------------------------------------
+
+func (s *Server) handleDatasetList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.registry.List())
+}
+
+func (s *Server) handleDatasetLoad(w http.ResponseWriter, r *http.Request) {
+	var req loadRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if req.Name == "" {
+		writeError(w, http.StatusBadRequest, "dataset name is required")
+		return
+	}
+	sources := 0
+	for _, set := range []bool{req.Path != "", req.CSV != "", req.Generate != nil} {
+		if set {
+			sources++
+		}
+	}
+	if sources != 1 {
+		writeError(w, http.StatusBadRequest, "exactly one of path, csv, generate is required")
+		return
+	}
+	var (
+		snap *Snapshot
+		err  error
+	)
+	switch {
+	case req.Path != "":
+		snap, err = s.registry.LoadCSV(req.Name, req.Path)
+	case req.CSV != "":
+		var ds *dataset.Dataset
+		ds, err = dataset.ReadCSV(strings.NewReader(req.CSV), req.Name)
+		if err == nil {
+			snap, err = s.registry.Load(req.Name, ds, "inline")
+		}
+	default:
+		g := req.Generate
+		var ds *dataset.Dataset
+		ds, err = dataset.Generate(dataset.Distribution(strings.ToUpper(g.Dist)), g.N, g.D, g.Seed)
+		if err == nil {
+			snap, err = s.registry.Load(req.Name, ds,
+				fmt.Sprintf("generated %s n=%d d=%d seed=%d", strings.ToUpper(g.Dist), g.N, g.D, g.Seed))
+		}
+	}
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, DatasetInfo{
+		Name:       snap.Name,
+		Generation: snap.Generation,
+		Records:    snap.DB.Len(),
+		Dims:       snap.DB.Dim(),
+		Attributes: snap.Dataset.Attributes,
+		Source:     snap.Source,
+		LoadedAt:   snap.LoadedAt,
+	})
+}
+
+func (s *Server) handleDatasetUnload(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if !s.registry.Unload(name) {
+		writeError(w, http.StatusNotFound, "dataset %q not found", name)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"unloaded": name})
+}
+
+// ---- kSPR query ----------------------------------------------------------
+
+// cacheKey canonicalizes a query into the result-cache key: it is built
+// from the PARSED algorithm/space/bounds and the effective epsilon, so
+// spelling variants of the same query ("lp-cta", "lpcta", "") share one
+// entry. The generation prefix makes reloads invalidate implicitly.
+func cacheKey(snap *Snapshot, req queryRequest, algo kspr.Algorithm, approx bool,
+	space kspr.Space, bounds kspr.BoundsMode, eps float64) string {
+	var b strings.Builder
+	algoName := algo.String()
+	if approx {
+		algoName = "approx"
+	}
+	fmt.Fprintf(&b, "%s@%d|kspr|k=%d|a=%s|s=%s|b=%s|v=%t|g=%t|e=%g|seed=%d",
+		snap.Name, snap.Generation, req.K,
+		algoName, space.String(), bounds.String(),
+		req.Volumes, !req.NoGeometry, eps, req.Seed)
+	if req.FocalVector != nil {
+		b.WriteString("|fv=")
+		for _, v := range req.FocalVector {
+			fmt.Fprintf(&b, "%x,", math.Float64bits(v))
+		}
+	} else {
+		fmt.Fprintf(&b, "|f=%d", req.Focal)
+	}
+	return b.String()
+}
+
+// cachedQuery is what the result cache stores: the wire response plus the
+// raw library result (reused by /v1/impact for region-membership sampling).
+// Both are immutable once cached.
+type cachedQuery struct {
+	resp *queryResponse
+	raw  any // *kspr.Result or *kspr.ApproxResult
+}
+
+// runKSPR executes (or serves from cache) one kSPR query on the pool. It
+// returns the wire response plus the raw library result.
+func (s *Server) runKSPR(ctx context.Context, snap *Snapshot, req queryRequest) (*queryResponse, any, error) {
+	algo, approx, err := parseAlgorithm(req.Algorithm)
+	if err != nil {
+		return nil, nil, err
+	}
+	space, err := parseSpace(req.Space)
+	if err != nil {
+		return nil, nil, err
+	}
+	bounds, err := parseBounds(req.Bounds)
+	if err != nil {
+		return nil, nil, err
+	}
+	if req.K < 1 {
+		return nil, nil, fmt.Errorf("k must be >= 1, got %d", req.K)
+	}
+	if approx && space == kspr.Original {
+		return nil, nil, fmt.Errorf("approx queries support only the transformed space")
+	}
+	eps := req.Epsilon
+	if eps <= 0 {
+		eps = 0.01
+	}
+
+	key := cacheKey(snap, req, algo, approx, space, bounds, eps)
+	if !req.NoCache {
+		if v, ok := s.cache.Get(key); ok {
+			cq := v.(*cachedQuery)
+			resp := *cq.resp // shallow copy: regions are shared, immutable
+			resp.Cached = true
+			return &resp, cq.raw, nil
+		}
+	}
+
+	val, err := s.pool.Submit(ctx, func(ctx context.Context) (any, error) {
+		if approx {
+			if req.FocalVector != nil {
+				return snap.DB.KSPRApproxVectorCtx(ctx, req.FocalVector, req.K, eps)
+			}
+			return snap.DB.KSPRApproxCtx(ctx, req.Focal, req.K, eps)
+		}
+		opts := []kspr.QueryOption{
+			kspr.WithContext(ctx),
+			kspr.WithAlgorithm(algo),
+			kspr.WithSpace(space),
+			kspr.WithBoundsMode(bounds),
+			kspr.WithSeed(req.Seed),
+		}
+		if req.Volumes {
+			opts = append(opts, kspr.WithVolumes(0))
+		}
+		if req.NoGeometry {
+			opts = append(opts, kspr.WithoutGeometry())
+		}
+		if req.FocalVector != nil {
+			return snap.DB.KSPRVector(req.FocalVector, req.K, opts...)
+		}
+		return snap.DB.KSPR(req.Focal, req.K, opts...)
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+
+	resp := &queryResponse{
+		Dataset:    snap.Name,
+		Generation: snap.Generation,
+		Focal:      req.Focal,
+		K:          req.K,
+		Space:      space.String(),
+	}
+	if req.FocalVector != nil {
+		resp.Focal = -1
+	}
+	switch res := val.(type) {
+	case *kspr.Result:
+		resp.Algorithm = algo.String()
+		fillResult(resp, res)
+	case *kspr.ApproxResult:
+		resp.Algorithm = "approx"
+		fillResult(resp, &res.Result)
+		resp.UncertainCount = len(res.Uncertain)
+		resp.UncertainVolume = res.UncertainVolume
+		conv := res.Converged
+		resp.Converged = &conv
+	}
+	if !req.NoCache {
+		s.cache.Put(key, &cachedQuery{resp: resp, raw: val})
+	}
+	return resp, val, nil
+}
+
+func fillResult(resp *queryResponse, res *kspr.Result) {
+	resp.Regions = make([]regionWire, len(res.Regions))
+	for i := range res.Regions {
+		reg := &res.Regions[i]
+		wire := regionWire{
+			Rank:      reg.Rank,
+			RankExact: reg.RankExact,
+			Witness:   reg.Witness,
+			Volume:    reg.Volume,
+		}
+		if len(reg.Vertices) > 0 {
+			wire.Vertices = make([][]float64, len(reg.Vertices))
+			for j, v := range reg.Vertices {
+				wire.Vertices[j] = v
+			}
+		}
+		resp.Regions[i] = wire
+	}
+	resp.Stats = statsWire{
+		ProcessedRecords: res.Stats.ProcessedRecords,
+		CellTreeNodes:    res.Stats.CellTreeNodes,
+		Batches:          res.Stats.Batches,
+		BaseRank:         res.Stats.BaseRank,
+		LPSolves:         res.Stats.LPSolves,
+		EarlyReported:    res.Stats.EarlyReported,
+		EarlyPruned:      res.Stats.EarlyPruned,
+		Regions:          len(res.Regions),
+		ElapsedMs:        float64(res.Stats.Elapsed) / float64(time.Millisecond),
+	}
+}
+
+func (s *Server) handleKSPR(w http.ResponseWriter, r *http.Request) {
+	var req queryRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	snap, ok := s.registry.Get(req.Dataset)
+	if !ok {
+		writeError(w, http.StatusNotFound, "dataset %q not found", req.Dataset)
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.timeout(req.TimeoutMs))
+	defer cancel()
+	resp, _, err := s.runKSPR(ctx, snap, req)
+	if err != nil {
+		writeError(w, errStatusCode(err), "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleBatch fans the batch's queries across the worker pool and streams
+// one NDJSON line per finished query, in completion order (each line
+// carries its input index). The whole batch shares one deadline.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req batchRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	snap, ok := s.registry.Get(req.Dataset)
+	if !ok {
+		writeError(w, http.StatusNotFound, "dataset %q not found", req.Dataset)
+		return
+	}
+	if len(req.Queries) == 0 {
+		writeError(w, http.StatusBadRequest, "batch has no queries")
+		return
+	}
+	if len(req.Queries) > s.cfg.MaxBatch {
+		writeError(w, http.StatusBadRequest, "batch of %d exceeds limit %d", len(req.Queries), s.cfg.MaxBatch)
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.timeout(req.TimeoutMs))
+	defer cancel()
+
+	lines := make(chan batchLine, len(req.Queries))
+	for i, q := range req.Queries {
+		go func(i int, q batchQuery) {
+			resp, _, err := s.runKSPR(ctx, snap, queryRequest{
+				Dataset:   req.Dataset,
+				Focal:     q.Focal,
+				K:         q.K,
+				Algorithm: req.Algorithm,
+				Space:     req.Space,
+				Bounds:    req.Bounds,
+				Epsilon:   req.Epsilon,
+				Volumes:   req.Volumes,
+				Seed:      req.Seed,
+				NoCache:   req.NoCache,
+			})
+			if err != nil {
+				lines <- batchLine{Index: i, Error: err.Error(), Status: errStatusCode(err)}
+				return
+			}
+			lines <- batchLine{Index: i, Result: resp}
+		}(i, q)
+	}
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	failed := 0
+	for range req.Queries {
+		line := <-lines
+		if line.Error != "" {
+			failed++
+		}
+		_ = enc.Encode(line)
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	// The stream itself is always 200, so surface per-query failures to
+	// the error counters explicitly — operators alert on errors_total.
+	s.metrics.AddErrors(uint64(failed))
+}
+
+// ---- top-k / skyline / impact -------------------------------------------
+
+func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
+	var req topkRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	snap, ok := s.registry.Get(req.Dataset)
+	if !ok {
+		writeError(w, http.StatusNotFound, "dataset %q not found", req.Dataset)
+		return
+	}
+	if req.K < 1 {
+		writeError(w, http.StatusBadRequest, "k must be >= 1, got %d", req.K)
+		return
+	}
+	if len(req.Weights) != snap.DB.Dim() {
+		writeError(w, http.StatusBadRequest, "weights have %d entries, dataset has %d attributes",
+			len(req.Weights), snap.DB.Dim())
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.timeout(0))
+	defer cancel()
+	val, err := s.pool.Submit(ctx, func(context.Context) (any, error) {
+		return snap.DB.TopK(req.Weights, req.K), nil
+	})
+	if err != nil {
+		writeError(w, errStatusCode(err), "%v", err)
+		return
+	}
+	ids := val.([]int)
+	resp := topkResponse{Dataset: snap.Name, Generation: snap.Generation, K: req.K}
+	for _, id := range ids {
+		e := topkEntry{ID: id, Score: dot(snap.DB.Record(id), req.Weights)}
+		if id < len(snap.Dataset.Labels) {
+			e.Label = snap.Dataset.Labels[id]
+		}
+		resp.Results = append(resp.Results, e)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func dot(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+func (s *Server) handleSkyline(w http.ResponseWriter, r *http.Request) {
+	name := r.URL.Query().Get("dataset")
+	snap, ok := s.registry.Get(name)
+	if !ok {
+		writeError(w, http.StatusNotFound, "dataset %q not found", name)
+		return
+	}
+	k := 0
+	if ks := r.URL.Query().Get("k"); ks != "" {
+		var err error
+		k, err = strconv.Atoi(ks)
+		if err != nil || k < 1 {
+			writeError(w, http.StatusBadRequest, "invalid k %q", ks)
+			return
+		}
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.timeout(0))
+	defer cancel()
+	val, err := s.pool.Submit(ctx, func(context.Context) (any, error) {
+		if k > 0 {
+			return snap.DB.KSkyband(k), nil
+		}
+		return snap.DB.Skyline(), nil
+	})
+	if err != nil {
+		writeError(w, errStatusCode(err), "%v", err)
+		return
+	}
+	ids := val.([]int)
+	resp := skylineResponse{Dataset: snap.Name, Generation: snap.Generation, K: k, IDs: ids, Count: len(ids)}
+	if len(snap.Dataset.Labels) > 0 {
+		resp.Labels = make([]string, len(ids))
+		for i, id := range ids {
+			if id < len(snap.Dataset.Labels) {
+				resp.Labels[i] = snap.Dataset.Labels[id]
+			}
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// buildDensity maps a named preference density to a pdf over original-space
+// weight vectors (length d, summing to 1).
+func buildDensity(req *densityReq, d int) (func(w []float64) float64, string, error) {
+	if req == nil || req.Name == "" || strings.EqualFold(req.Name, "uniform") {
+		return nil, "uniform", nil
+	}
+	switch strings.ToLower(req.Name) {
+	case "dirichlet":
+		if len(req.Alpha) != d {
+			return nil, "", fmt.Errorf("dirichlet density needs %d alpha values, got %d", d, len(req.Alpha))
+		}
+		for _, a := range req.Alpha {
+			if a <= 0 {
+				return nil, "", fmt.Errorf("dirichlet alpha values must be positive")
+			}
+		}
+		alpha := append([]float64(nil), req.Alpha...)
+		return func(w []float64) float64 {
+			p := 1.0
+			for i, a := range alpha {
+				if w[i] <= 0 {
+					if a == 1 {
+						continue
+					}
+					return 0 // clip the boundary: diverging (a<1) or zero (a>1)
+				}
+				p *= math.Pow(w[i], a-1)
+			}
+			return p
+		}, "dirichlet", nil
+	case "gaussian":
+		if len(req.Center) != d {
+			return nil, "", fmt.Errorf("gaussian density needs a %d-dim center, got %d", d, len(req.Center))
+		}
+		sigma := req.Sigma
+		if sigma <= 0 {
+			sigma = 0.1
+		}
+		center := append([]float64(nil), req.Center...)
+		return func(w []float64) float64 {
+			var d2 float64
+			for i := range w {
+				diff := w[i] - center[i]
+				d2 += diff * diff
+			}
+			return math.Exp(-d2 / (2 * sigma * sigma))
+		}, "gaussian", nil
+	default:
+		return nil, "", fmt.Errorf("unknown density %q (want uniform, dirichlet, gaussian)", req.Name)
+	}
+}
+
+// handleImpact answers §1's market-impact question: the probability mass of
+// the focal record's kSPR regions under a named preference density. The
+// underlying kSPR result comes from runKSPR, so it is cached and
+// deadline-bounded like any other query.
+func (s *Server) handleImpact(w http.ResponseWriter, r *http.Request) {
+	var req impactRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	snap, ok := s.registry.Get(req.Dataset)
+	if !ok {
+		writeError(w, http.StatusNotFound, "dataset %q not found", req.Dataset)
+		return
+	}
+	// Region-membership sampling needs an exact kSPR result; reject approx
+	// upfront rather than after burning a worker on the query.
+	if _, approx, err := parseAlgorithm(req.Algorithm); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	} else if approx {
+		writeError(w, http.StatusBadRequest, "impact needs an exact algorithm (cta, p-cta, lp-cta, k-skyband)")
+		return
+	}
+	pdf, densityName, err := buildDensity(req.Density, snap.DB.Dim())
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if req.Samples <= 0 {
+		req.Samples = 20000
+	}
+	// The sampling loop is not cancellable, so bound the work a single
+	// request can demand of a pool worker.
+	const maxImpactSamples = 1_000_000
+	if req.Samples > maxImpactSamples {
+		req.Samples = maxImpactSamples
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.timeout(req.TimeoutMs))
+	defer cancel()
+
+	qresp, raw, err := s.runKSPR(ctx, snap, queryRequest{
+		Dataset:   req.Dataset,
+		Focal:     req.Focal,
+		K:         req.K,
+		Algorithm: req.Algorithm,
+		Seed:      req.Seed,
+		NoCache:   req.NoCache,
+	})
+	if err != nil {
+		writeError(w, errStatusCode(err), "%v", err)
+		return
+	}
+	res, ok := raw.(*kspr.Result)
+	if !ok {
+		writeError(w, http.StatusBadRequest, "impact needs an exact algorithm (cta, p-cta, lp-cta, k-skyband)")
+		return
+	}
+	val, err := s.pool.Submit(ctx, func(context.Context) (any, error) {
+		return snap.DB.ImpactProbabilityPDF(res, pdf, req.Samples, req.Seed), nil
+	})
+	if err != nil {
+		writeError(w, errStatusCode(err), "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, impactResponse{
+		Dataset:     snap.Name,
+		Generation:  snap.Generation,
+		Focal:       req.Focal,
+		K:           req.K,
+		Density:     densityName,
+		Samples:     req.Samples,
+		Probability: val.(float64),
+		Regions:     qresp.Stats.Regions,
+		Cached:      qresp.Cached,
+	})
+}
+
+// ---- health & metrics ----------------------------------------------------
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":   "ok",
+		"datasets": len(s.registry.List()),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	snap := s.metrics.Snapshot()
+	snap.Cache = s.cache.Stats()
+	snap.Pool = PoolStats{Workers: s.pool.Workers(), Depth: s.pool.Depth()}
+	snap.Datasets = s.registry.List()
+	writeJSON(w, http.StatusOK, snap)
+}

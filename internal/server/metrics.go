@@ -1,0 +1,164 @@
+package server
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// latWindow is the number of most recent request latencies kept for
+// percentile estimation.
+const latWindow = 2048
+
+// qpsBuckets is the length (seconds) of the sliding QPS window.
+const qpsBuckets = 60
+
+// Metrics aggregates the serving counters exposed on /metrics. All methods
+// are safe for concurrent use; the hot path is two atomics plus one small
+// mutexed ring update.
+type Metrics struct {
+	start    time.Time
+	requests atomic.Uint64
+	errors   atomic.Uint64
+
+	mu     sync.Mutex
+	lat    [latWindow]float64 // ring of latencies in milliseconds
+	latIdx int
+	latN   int
+	qps    [qpsBuckets]qpsBucket
+
+	byEndpoint sync.Map // string -> *atomic.Uint64
+}
+
+type qpsBucket struct {
+	sec int64
+	n   uint64
+}
+
+// NewMetrics starts the clock.
+func NewMetrics() *Metrics {
+	return &Metrics{start: time.Now()}
+}
+
+// Observe records one finished request.
+func (m *Metrics) Observe(endpoint string, d time.Duration, isErr bool) {
+	m.requests.Add(1)
+	if isErr {
+		m.errors.Add(1)
+	}
+	cnt, ok := m.byEndpoint.Load(endpoint)
+	if !ok {
+		cnt, _ = m.byEndpoint.LoadOrStore(endpoint, new(atomic.Uint64))
+	}
+	cnt.(*atomic.Uint64).Add(1)
+
+	sec := time.Now().Unix()
+	m.mu.Lock()
+	m.lat[m.latIdx] = float64(d) / float64(time.Millisecond)
+	m.latIdx = (m.latIdx + 1) % latWindow
+	if m.latN < latWindow {
+		m.latN++
+	}
+	b := &m.qps[sec%qpsBuckets]
+	if b.sec != sec {
+		b.sec, b.n = sec, 0
+	}
+	b.n++
+	m.mu.Unlock()
+}
+
+// AddErrors bumps the error counter by n without recording requests; used
+// for failures that hide inside an otherwise-successful response (e.g.
+// per-query errors in a streamed 200 batch).
+func (m *Metrics) AddErrors(n uint64) {
+	if n > 0 {
+		m.errors.Add(n)
+	}
+}
+
+// LatencyStats are percentile estimates over the recent-latency window.
+type LatencyStats struct {
+	P50Ms float64 `json:"p50_ms"`
+	P95Ms float64 `json:"p95_ms"`
+	P99Ms float64 `json:"p99_ms"`
+}
+
+// MetricsSnapshot is the JSON body of /metrics.
+type MetricsSnapshot struct {
+	UptimeSeconds float64           `json:"uptime_seconds"`
+	Requests      uint64            `json:"requests_total"`
+	Errors        uint64            `json:"errors_total"`
+	QPS           float64           `json:"qps_1m"`
+	Latency       LatencyStats      `json:"latency"`
+	Cache         CacheStats        `json:"cache"`
+	Pool          PoolStats         `json:"pool"`
+	ByEndpoint    map[string]uint64 `json:"requests_by_endpoint"`
+	Datasets      []DatasetInfo     `json:"datasets"`
+}
+
+// PoolStats is the /metrics view of the worker pool.
+type PoolStats struct {
+	Workers int   `json:"workers"`
+	Depth   int64 `json:"depth"`
+}
+
+// Snapshot computes the current metrics view. Cache/pool/registry sections
+// are filled in by the server, which owns those components.
+func (m *Metrics) Snapshot() MetricsSnapshot {
+	now := time.Now()
+	snap := MetricsSnapshot{
+		UptimeSeconds: now.Sub(m.start).Seconds(),
+		Requests:      m.requests.Load(),
+		Errors:        m.errors.Load(),
+		ByEndpoint:    map[string]uint64{},
+	}
+	m.byEndpoint.Range(func(k, v any) bool {
+		snap.ByEndpoint[k.(string)] = v.(*atomic.Uint64).Load()
+		return true
+	})
+
+	m.mu.Lock()
+	lats := make([]float64, m.latN)
+	copy(lats, m.lat[:m.latN])
+	var hits uint64
+	cutoff := now.Unix() - qpsBuckets
+	for _, b := range m.qps {
+		if b.sec > cutoff {
+			hits += b.n
+		}
+	}
+	m.mu.Unlock()
+
+	window := snap.UptimeSeconds
+	if window > qpsBuckets {
+		window = qpsBuckets
+	}
+	if window > 0 {
+		snap.QPS = float64(hits) / window
+	}
+	if len(lats) > 0 {
+		sort.Float64s(lats)
+		snap.Latency = LatencyStats{
+			P50Ms: percentile(lats, 0.50),
+			P95Ms: percentile(lats, 0.95),
+			P99Ms: percentile(lats, 0.99),
+		}
+	}
+	return snap
+}
+
+// percentile reads the p-quantile from sorted values (nearest-rank).
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(p*float64(len(sorted))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}

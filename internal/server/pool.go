@@ -1,0 +1,128 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+)
+
+// ErrPoolClosed is returned by Submit after Close has begun.
+var ErrPoolClosed = errors.New("server: worker pool closed")
+
+// Pool is a bounded worker pool: a fixed number of workers drain a bounded
+// queue. Submit blocks while the queue is full (providing natural
+// backpressure toward the HTTP layer) and honours the request context both
+// while queued and while running — a task whose context expires before a
+// worker picks it up is dropped without doing any work.
+type Pool struct {
+	tasks   chan *poolTask
+	wg      sync.WaitGroup
+	mu      sync.RWMutex
+	closed  bool
+	queued  atomic.Int64
+	running atomic.Int64
+	workers int
+}
+
+type poolTask struct {
+	ctx context.Context
+	fn  func(context.Context) (any, error)
+	res chan poolResult
+}
+
+type poolResult struct {
+	val any
+	err error
+}
+
+// NewPool starts workers goroutines over a queue of the given length.
+// Non-positive arguments default to 4 workers and a queue of 64.
+func NewPool(workers, queue int) *Pool {
+	if workers <= 0 {
+		workers = 4
+	}
+	if queue <= 0 {
+		queue = 64
+	}
+	p := &Pool{tasks: make(chan *poolTask, queue), workers: workers}
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+func (p *Pool) worker() {
+	defer p.wg.Done()
+	for t := range p.tasks {
+		p.queued.Add(-1)
+		select {
+		case <-t.ctx.Done():
+			// The caller gave up while the task sat in the queue; it has
+			// already returned, so just record the outcome.
+			t.res <- poolResult{err: t.ctx.Err()}
+			continue
+		default:
+		}
+		p.running.Add(1)
+		val, err := t.fn(t.ctx)
+		p.running.Add(-1)
+		t.res <- poolResult{val: val, err: err}
+	}
+}
+
+// Submit runs fn on a pool worker and returns its result. It blocks until
+// the task completes, ctx is done, or the pool shuts down. When ctx expires
+// first, Submit returns ctx.Err(); if the task was already running, the
+// worker finishes it in the background (fn observes the same ctx and is
+// expected to abandon work promptly).
+func (p *Pool) Submit(ctx context.Context, fn func(context.Context) (any, error)) (any, error) {
+	t := &poolTask{ctx: ctx, fn: fn, res: make(chan poolResult, 1)}
+
+	p.mu.RLock()
+	if p.closed {
+		p.mu.RUnlock()
+		return nil, ErrPoolClosed
+	}
+	// Count the task before it becomes visible to workers, so the paired
+	// decrement on receipt can never drive the gauge negative.
+	p.queued.Add(1)
+	select {
+	case p.tasks <- t:
+		p.mu.RUnlock()
+	case <-ctx.Done():
+		p.queued.Add(-1)
+		p.mu.RUnlock()
+		return nil, ctx.Err()
+	}
+
+	select {
+	case r := <-t.res:
+		return r.val, r.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// Depth reports queued plus running tasks (the /metrics pool depth).
+func (p *Pool) Depth() int64 { return p.queued.Load() + p.running.Load() }
+
+// Workers reports the worker count.
+func (p *Pool) Workers() int { return p.workers }
+
+// Close drains the pool gracefully: no new submissions are accepted,
+// queued tasks still execute, and Close returns when every worker has
+// exited.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		p.wg.Wait()
+		return
+	}
+	p.closed = true
+	close(p.tasks)
+	p.mu.Unlock()
+	p.wg.Wait()
+}

@@ -1,0 +1,122 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestPoolRunsTasks(t *testing.T) {
+	p := NewPool(4, 16)
+	defer p.Close()
+	var n atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 100; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, err := p.Submit(context.Background(), func(context.Context) (any, error) {
+				n.Add(1)
+				return i * 2, nil
+			})
+			if err != nil {
+				t.Errorf("submit: %v", err)
+				return
+			}
+			if v.(int) != i*2 {
+				t.Errorf("got %v, want %d", v, i*2)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if n.Load() != 100 {
+		t.Fatalf("ran %d tasks, want 100", n.Load())
+	}
+	if p.Depth() != 0 {
+		t.Fatalf("depth %d after drain", p.Depth())
+	}
+}
+
+func TestPoolQueuedTaskSkippedOnExpiredContext(t *testing.T) {
+	p := NewPool(1, 8)
+	defer p.Close()
+
+	// Occupy the single worker.
+	block := make(chan struct{})
+	started := make(chan struct{})
+	go p.Submit(context.Background(), func(context.Context) (any, error) {
+		close(started)
+		<-block
+		return nil, nil
+	})
+	<-started
+
+	// Enqueue a task whose context dies while it waits.
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Bool
+	resCh := make(chan error, 1)
+	go func() {
+		_, err := p.Submit(ctx, func(context.Context) (any, error) {
+			ran.Store(true)
+			return nil, nil
+		})
+		resCh <- err
+	}()
+	time.Sleep(10 * time.Millisecond) // let it enqueue
+	cancel()
+	if err := <-resCh; !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	close(block) // release the worker; it must skip the dead task
+	time.Sleep(20 * time.Millisecond)
+	if ran.Load() {
+		t.Fatal("worker executed a task whose context had expired in the queue")
+	}
+}
+
+func TestPoolTimeoutWhileRunning(t *testing.T) {
+	p := NewPool(1, 1)
+	defer p.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := p.Submit(ctx, func(ctx context.Context) (any, error) {
+		<-ctx.Done() // a well-behaved task observes cancellation
+		return nil, ctx.Err()
+	})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("submit blocked %v past its deadline", elapsed)
+	}
+}
+
+func TestPoolCloseDrains(t *testing.T) {
+	p := NewPool(2, 32)
+	var done atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p.Submit(context.Background(), func(context.Context) (any, error) {
+				time.Sleep(time.Millisecond)
+				done.Add(1)
+				return nil, nil
+			})
+		}()
+	}
+	wg.Wait() // all submissions returned, so all tasks ran
+	p.Close()
+	if done.Load() != 16 {
+		t.Fatalf("Close lost tasks: %d/16 ran", done.Load())
+	}
+	if _, err := p.Submit(context.Background(), func(context.Context) (any, error) { return nil, nil }); err != ErrPoolClosed {
+		t.Fatalf("submit after close: %v, want ErrPoolClosed", err)
+	}
+	p.Close() // idempotent
+}

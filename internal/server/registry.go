@@ -1,0 +1,139 @@
+// Package server implements ksprd, the long-lived kSPR query service: a
+// dataset registry with hot reload, a bounded worker pool with per-request
+// deadlines, a sharded LRU result cache, and HTTP/JSON handlers for the
+// paper's query repertoire (kSPR, approximate kSPR, top-k, skyline, market
+// impact).
+package server
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	kspr "repro"
+	"repro/internal/dataset"
+)
+
+// Snapshot is an immutable, queryable view of a registered dataset. Queries
+// resolve a snapshot once and keep using it for their whole lifetime, so a
+// concurrent reload (which installs a NEW snapshot under the same name)
+// never disturbs in-flight work: the old snapshot stays valid until its
+// last query releases it.
+type Snapshot struct {
+	// Name is the registry key; Generation increases monotonically across
+	// the whole registry with every (re)load, so (Name, Generation)
+	// uniquely identifies one loaded incarnation — the cache keys off it.
+	Name       string
+	Generation uint64
+	// DB is the indexed dataset; it is safe for concurrent readers.
+	DB *kspr.DB
+	// Dataset retains attribute names and optional record labels.
+	Dataset  *dataset.Dataset
+	LoadedAt time.Time
+	// Source describes where the data came from (path, "generated", ...).
+	Source string
+}
+
+// DatasetInfo is the registry listing entry exposed over the API.
+type DatasetInfo struct {
+	Name       string    `json:"name"`
+	Generation uint64    `json:"generation"`
+	Records    int       `json:"records"`
+	Dims       int       `json:"dims"`
+	Attributes []string  `json:"attributes,omitempty"`
+	Source     string    `json:"source,omitempty"`
+	LoadedAt   time.Time `json:"loaded_at"`
+}
+
+// Registry maps names to dataset snapshots behind an RWMutex. Loads build
+// the R-tree index outside the lock, so readers are never blocked on
+// indexing; the critical section is a map swap.
+type Registry struct {
+	mu   sync.RWMutex
+	sets map[string]*Snapshot
+	gen  atomic.Uint64
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{sets: make(map[string]*Snapshot)}
+}
+
+// Load indexes ds and installs it under name, replacing any previous
+// snapshot with that name. It returns the new snapshot.
+func (r *Registry) Load(name string, ds *dataset.Dataset, source string) (*Snapshot, error) {
+	if name == "" {
+		return nil, fmt.Errorf("server: dataset name must not be empty")
+	}
+	db, err := kspr.Open(ds.Float64s())
+	if err != nil {
+		return nil, fmt.Errorf("server: indexing dataset %q: %w", name, err)
+	}
+	snap := &Snapshot{
+		Name:       name,
+		Generation: r.gen.Add(1),
+		DB:         db,
+		Dataset:    ds,
+		LoadedAt:   time.Now(),
+		Source:     source,
+	}
+	r.mu.Lock()
+	r.sets[name] = snap
+	r.mu.Unlock()
+	return snap, nil
+}
+
+// LoadCSV reads a CSV file (see dataset.ReadCSV) and installs it.
+func (r *Registry) LoadCSV(name, path string) (*Snapshot, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("server: open dataset: %w", err)
+	}
+	defer f.Close()
+	ds, err := dataset.ReadCSV(f, name)
+	if err != nil {
+		return nil, err
+	}
+	return r.Load(name, ds, path)
+}
+
+// Get resolves the current snapshot for name.
+func (r *Registry) Get(name string) (*Snapshot, bool) {
+	r.mu.RLock()
+	snap, ok := r.sets[name]
+	r.mu.RUnlock()
+	return snap, ok
+}
+
+// Unload removes name from the registry. In-flight queries holding the
+// snapshot are unaffected.
+func (r *Registry) Unload(name string) bool {
+	r.mu.Lock()
+	_, ok := r.sets[name]
+	delete(r.sets, name)
+	r.mu.Unlock()
+	return ok
+}
+
+// List returns the registered datasets sorted by name.
+func (r *Registry) List() []DatasetInfo {
+	r.mu.RLock()
+	infos := make([]DatasetInfo, 0, len(r.sets))
+	for _, s := range r.sets {
+		infos = append(infos, DatasetInfo{
+			Name:       s.Name,
+			Generation: s.Generation,
+			Records:    s.DB.Len(),
+			Dims:       s.DB.Dim(),
+			Attributes: s.Dataset.Attributes,
+			Source:     s.Source,
+			LoadedAt:   s.LoadedAt,
+		})
+	}
+	r.mu.RUnlock()
+	sort.Slice(infos, func(i, j int) bool { return infos[i].Name < infos[j].Name })
+	return infos
+}

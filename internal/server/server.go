@@ -1,0 +1,143 @@
+package server
+
+import (
+	"context"
+	"net/http"
+	"time"
+)
+
+// Config tunes the service. The zero value is usable: NewServer fills in
+// the defaults below.
+type Config struct {
+	// Workers is the worker-pool size (default 4); Queue its backlog
+	// (default 64). Together they bound the query concurrency and memory.
+	Workers int
+	Queue   int
+	// CacheShards / CacheCapacity size the result cache (default 8 x 1024
+	// total entries). CacheCapacity <= 0 keeps the default; use a
+	// one-entry cache to effectively disable caching in tests.
+	CacheShards   int
+	CacheCapacity int
+	// DefaultTimeout bounds queries that do not ask for a deadline;
+	// MaxTimeout caps what they may ask for.
+	DefaultTimeout time.Duration
+	MaxTimeout     time.Duration
+	// MaxBatch caps the number of queries a single batch request may carry.
+	MaxBatch int
+}
+
+func (c *Config) normalize() {
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if c.Queue <= 0 {
+		c.Queue = 64
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 30 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 5 * time.Minute
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 1024
+	}
+}
+
+// Server is the ksprd service: registry + pool + cache + metrics behind an
+// http.Handler. Create with NewServer, serve via Handler, stop with Close.
+type Server struct {
+	cfg      Config
+	registry *Registry
+	pool     *Pool
+	cache    *Cache
+	metrics  *Metrics
+	mux      *http.ServeMux
+}
+
+// NewServer wires the subsystem together.
+func NewServer(cfg Config) *Server {
+	cfg.normalize()
+	s := &Server{
+		cfg:      cfg,
+		registry: NewRegistry(),
+		pool:     NewPool(cfg.Workers, cfg.Queue),
+		cache:    NewCache(cfg.CacheShards, cfg.CacheCapacity),
+		metrics:  NewMetrics(),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealthz))
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /v1/datasets", s.instrument("datasets.list", s.handleDatasetList))
+	mux.HandleFunc("POST /v1/datasets", s.instrument("datasets.load", s.handleDatasetLoad))
+	mux.HandleFunc("DELETE /v1/datasets/{name}", s.instrument("datasets.unload", s.handleDatasetUnload))
+	mux.HandleFunc("POST /v1/kspr", s.instrument("kspr", s.handleKSPR))
+	mux.HandleFunc("POST /v1/kspr:batch", s.instrument("kspr.batch", s.handleBatch))
+	mux.HandleFunc("POST /v1/topk", s.instrument("topk", s.handleTopK))
+	mux.HandleFunc("GET /v1/skyline", s.instrument("skyline", s.handleSkyline))
+	mux.HandleFunc("POST /v1/impact", s.instrument("impact", s.handleImpact))
+	s.mux = mux
+	return s
+}
+
+// Registry exposes the dataset registry (e.g. for preloading at startup).
+func (s *Server) Registry() *Registry { return s.registry }
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// statusRecorder captures the response status for metrics.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// Flush forwards streaming flushes (the batch endpoint needs this through
+// the recorder).
+func (r *statusRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// instrument wraps a handler with latency/error accounting.
+func (s *Server) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		h(rec, r)
+		s.metrics.Observe(name, time.Since(start), rec.status >= 400)
+	}
+}
+
+// Close drains the worker pool gracefully: queued queries finish, new
+// submissions fail with ErrPoolClosed. Call after the HTTP listener has
+// stopped accepting requests (http.Server.Shutdown).
+func (s *Server) Close() {
+	s.pool.Close()
+}
+
+// ListenAndServe runs the service on addr until ctx is cancelled, then
+// shuts down gracefully: the listener drains in-flight HTTP requests
+// (bounded by grace), after which the pool is closed.
+func (s *Server) ListenAndServe(ctx context.Context, addr string, grace time.Duration) error {
+	httpSrv := &http.Server{Addr: addr, Handler: s.Handler()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	select {
+	case err := <-errCh:
+		s.Close()
+		return err
+	case <-ctx.Done():
+	}
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), grace)
+	defer cancel()
+	err := httpSrv.Shutdown(shutdownCtx)
+	s.Close()
+	return err
+}

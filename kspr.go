@@ -28,6 +28,7 @@
 package kspr
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
@@ -178,6 +179,14 @@ func WithoutGeometry() QueryOption {
 	return func(o *core.Options) { o.FinalizeGeometry = false }
 }
 
+// WithContext makes the query cancellable: processing polls ctx at
+// cell-tree expansion points and the query returns ctx.Err() (wrapped) as
+// soon as ctx is done. Use it to bound long-running queries with a
+// deadline, e.g. in a serving path.
+func WithContext(ctx context.Context) QueryOption {
+	return func(o *core.Options) { o.Ctx = ctx }
+}
+
 // WithParallelBounds computes LP-CTA's look-ahead rank bounds on all CPU
 // cores. Results are identical to the serial run (decisions apply in a
 // deterministic order); only wall-clock time changes.
@@ -223,17 +232,28 @@ type ApproxResult = core.ApproxResult
 // future work (§8) and can be much faster than the exact algorithms when
 // the kSPR result has intricate boundaries.
 func (db *DB) KSPRApprox(focalID, k int, epsilon float64) (*ApproxResult, error) {
+	return db.KSPRApproxCtx(context.Background(), focalID, k, epsilon)
+}
+
+// KSPRApproxCtx is KSPRApprox with cancellation: the refinement loop polls
+// ctx and returns ctx.Err() once it is done.
+func (db *DB) KSPRApproxCtx(ctx context.Context, focalID, k int, epsilon float64) (*ApproxResult, error) {
 	if focalID < 0 || focalID >= db.Len() {
 		return nil, fmt.Errorf("kspr: focal id %d out of range [0, %d)", focalID, db.Len())
 	}
 	return core.RunApprox(db.tree, db.tree.Records[focalID], focalID,
-		core.ApproxOptions{K: k, Epsilon: epsilon})
+		core.ApproxOptions{K: k, Epsilon: epsilon, Ctx: ctx})
 }
 
 // KSPRApproxVector is KSPRApprox for a focal record outside the dataset.
 func (db *DB) KSPRApproxVector(focal []float64, k int, epsilon float64) (*ApproxResult, error) {
+	return db.KSPRApproxVectorCtx(context.Background(), focal, k, epsilon)
+}
+
+// KSPRApproxVectorCtx is KSPRApproxVector with cancellation.
+func (db *DB) KSPRApproxVectorCtx(ctx context.Context, focal []float64, k int, epsilon float64) (*ApproxResult, error) {
 	return core.RunApprox(db.tree, geom.Vector(focal), -1,
-		core.ApproxOptions{K: k, Epsilon: epsilon})
+		core.ApproxOptions{K: k, Epsilon: epsilon, Ctx: ctx})
 }
 
 // SVGOptions control WriteSVG rendering.
