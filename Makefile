@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench fmt vet clean
+.PHONY: build test race bench fmt vet docs clean
 
 build:
 	$(GO) build ./...
@@ -11,15 +11,26 @@ test:
 race:
 	$(GO) test -race ./...
 
-# bench writes BENCH_local.json (ns/op per algorithm) for perf tracking.
+# bench writes BENCH_core.json: ns/op per algorithm with the serial engine
+# and with a 4-worker engine, plus the speedup ratio — the perf trajectory
+# successive PRs diff against. -parallel is pinned so the file's schema
+# does not depend on the host's core count (the recorded "cpus" field
+# tells you how much hardware the speedup had to work with).
 bench:
-	$(GO) run ./cmd/ksprbench -json -name local -scale 0.5 -queries 3
+	$(GO) run ./cmd/ksprbench -json -name core -scale 0.5 -queries 3 -parallel 4
 
 fmt:
 	gofmt -l .
 
 vet:
 	$(GO) vet ./...
+
+# docs runs the documentation gates CI enforces: every relative markdown
+# link resolves, and every exported identifier in the core packages has a
+# doc comment.
+docs:
+	./scripts/check_links.sh
+	./scripts/check_docs.sh
 
 clean:
 	rm -f BENCH_*.json

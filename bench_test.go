@@ -91,21 +91,33 @@ func benchDB(b *testing.B, n, d int) *kspr.DB {
 	return db
 }
 
-func benchAlgorithm(b *testing.B, algo kspr.Algorithm, k int) {
+// benchAlgorithm measures one algorithm at a fixed engine parallelism
+// (1 = the serial baseline; 0 = one worker per core).
+func benchAlgorithm(b *testing.B, algo kspr.Algorithm, k, parallelism int) {
 	db := benchDB(b, 2000, 4)
 	focal := db.Skyline()[0]
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := db.KSPR(focal, k, kspr.WithAlgorithm(algo), kspr.WithoutGeometry()); err != nil {
+		_, err := db.KSPR(focal, k, kspr.WithAlgorithm(algo), kspr.WithoutGeometry(),
+			kspr.WithParallelism(parallelism))
+		if err != nil {
 			b.Fatal(err)
 		}
 	}
 }
 
-func BenchmarkQueryCTA_k10(b *testing.B)      { benchAlgorithm(b, kspr.CTA, 10) }
-func BenchmarkQueryPCTA_k10(b *testing.B)     { benchAlgorithm(b, kspr.PCTA, 10) }
-func BenchmarkQueryLPCTA_k10(b *testing.B)    { benchAlgorithm(b, kspr.LPCTA, 10) }
-func BenchmarkQueryKSkyband_k10(b *testing.B) { benchAlgorithm(b, kspr.KSkybandCTA, 10) }
+func BenchmarkQueryCTA_k10(b *testing.B)      { benchAlgorithm(b, kspr.CTA, 10, 1) }
+func BenchmarkQueryPCTA_k10(b *testing.B)     { benchAlgorithm(b, kspr.PCTA, 10, 1) }
+func BenchmarkQueryLPCTA_k10(b *testing.B)    { benchAlgorithm(b, kspr.LPCTA, 10, 1) }
+func BenchmarkQueryKSkyband_k10(b *testing.B) { benchAlgorithm(b, kspr.KSkybandCTA, 10, 1) }
+
+// The Parallel variants run the identical workloads with one engine worker
+// per core; comparing each pair against its serial twin above measures the
+// expansion engine's speedup.
+func BenchmarkQueryCTAParallel_k10(b *testing.B)      { benchAlgorithm(b, kspr.CTA, 10, 0) }
+func BenchmarkQueryPCTAParallel_k10(b *testing.B)     { benchAlgorithm(b, kspr.PCTA, 10, 0) }
+func BenchmarkQueryLPCTAParallel_k10(b *testing.B)    { benchAlgorithm(b, kspr.LPCTA, 10, 0) }
+func BenchmarkQueryKSkybandParallel_k10(b *testing.B) { benchAlgorithm(b, kspr.KSkybandCTA, 10, 0) }
 
 func BenchmarkTopK(b *testing.B) {
 	db := benchDB(b, 50000, 4)

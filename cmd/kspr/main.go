@@ -30,6 +30,7 @@ func main() {
 		asJSON   = flag.Bool("json", false, "emit JSON")
 		svgPath  = flag.String("svg", "", "write an SVG plot of the regions (d=3 data only)")
 		seed     = flag.Int64("seed", 1, "seed for volume estimation")
+		par      = flag.Int("parallelism", 0, "query engine goroutines (0 = all cores, 1 = serial)")
 	)
 	flag.Parse()
 	if *dataPath == "" {
@@ -61,7 +62,7 @@ func main() {
 		fatal(err)
 	}
 
-	opts := []kspr.QueryOption{kspr.WithSeed(*seed)}
+	opts := []kspr.QueryOption{kspr.WithSeed(*seed), kspr.WithParallelism(*par)}
 	switch strings.ToLower(*algo) {
 	case "cta":
 		opts = append(opts, kspr.WithAlgorithm(kspr.CTA))

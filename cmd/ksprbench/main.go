@@ -11,10 +11,12 @@
 // bend — are what the harness reproduces. See EXPERIMENTS.md.
 //
 // With -json the command instead runs a fixed per-algorithm micro-benchmark
-// and writes BENCH_<name>.json (ns/op per algorithm), so successive PRs can
-// diff serving performance:
+// and writes BENCH_<name>.json (ns/op per algorithm, serial and — unless
+// -parallel 1 — again on a multi-worker engine with the speedup ratio), so
+// successive PRs can diff serving performance and the serial/parallel gap:
 //
 //	ksprbench -json -name pr12 -scale 0.5
+//	ksprbench -json -name core -parallel 4
 package main
 
 import (
@@ -43,11 +45,12 @@ func main() {
 		dist    = flag.String("dist", "IND", "benchmark data distribution for -json: IND, COR, ANTI")
 		dims    = flag.Int("d", 4, "benchmark dimensionality for -json")
 		kFlag   = flag.Int("k", 10, "benchmark shortlist size for -json")
+		par     = flag.Int("parallel", 0, "parallel sweep worker count for -json (0 = all cores, 1 = skip the sweep)")
 	)
 	flag.Parse()
 
 	if *asJSON {
-		if err := runBenchJSON(*name, *dist, *dims, *kFlag, *scale, *queries, *seed); err != nil {
+		if err := runBenchJSON(*name, *dist, *dims, *kFlag, *scale, *queries, *seed, *par); err != nil {
 			fmt.Fprintln(os.Stderr, "ksprbench:", err)
 			os.Exit(1)
 		}
@@ -93,25 +96,33 @@ func main() {
 }
 
 // benchSummary is the schema of BENCH_<name>.json. Algorithms maps
-// algorithm name to average ns/op over the benchmark's queries.
+// algorithm name to average ns/op over the benchmark's queries with the
+// serial engine (parallelism 1); AlgorithmsParallel holds the same
+// workload on Parallelism engine workers, and Speedup the serial/parallel
+// ratio, so the file records a 1-core vs n-core baseline per algorithm.
 type benchSummary struct {
-	Name       string           `json:"name"`
-	Timestamp  string           `json:"timestamp"`
-	GoVersion  string           `json:"go_version"`
-	GOOS       string           `json:"goos"`
-	GOARCH     string           `json:"goarch"`
-	Dist       string           `json:"dist"`
-	N          int              `json:"n"`
-	D          int              `json:"d"`
-	K          int              `json:"k"`
-	Queries    int              `json:"queries"`
-	Seed       int64            `json:"seed"`
-	Algorithms map[string]int64 `json:"ns_per_op"`
+	Name               string             `json:"name"`
+	Timestamp          string             `json:"timestamp"`
+	GoVersion          string             `json:"go_version"`
+	GOOS               string             `json:"goos"`
+	GOARCH             string             `json:"goarch"`
+	CPUs               int                `json:"cpus"`
+	Dist               string             `json:"dist"`
+	N                  int                `json:"n"`
+	D                  int                `json:"d"`
+	K                  int                `json:"k"`
+	Queries            int                `json:"queries"`
+	Seed               int64              `json:"seed"`
+	Algorithms         map[string]int64   `json:"ns_per_op"`
+	Parallelism        int                `json:"parallelism,omitempty"`
+	AlgorithmsParallel map[string]int64   `json:"ns_per_op_parallel,omitempty"`
+	Speedup            map[string]float64 `json:"speedup,omitempty"`
 }
 
-// runBenchJSON times every algorithm on one synthetic workload and writes
-// the ns/op summary to BENCH_<name>.json in the working directory.
-func runBenchJSON(name, dist string, d, k int, scale float64, queries int, seed int64) error {
+// runBenchJSON times every algorithm on one synthetic workload — serially
+// and, unless par == 1, again on a par-worker engine — and writes the
+// ns/op summary to BENCH_<name>.json in the working directory.
+func runBenchJSON(name, dist string, d, k int, scale float64, queries int, seed int64, par int) error {
 	n := int(2000 * scale)
 	if n < 100 {
 		n = 100
@@ -139,12 +150,16 @@ func runBenchJSON(name, dist string, d, k int, scale float64, queries int, seed 
 		focals[i] = band[i*len(band)/queries]
 	}
 
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
 	sum := benchSummary{
 		Name:      name,
 		Timestamp: time.Now().UTC().Format(time.RFC3339),
 		GoVersion: runtime.Version(),
 		GOOS:      runtime.GOOS,
 		GOARCH:    runtime.GOARCH,
+		CPUs:      runtime.GOMAXPROCS(0),
 		Dist:      dist, N: n, D: d, K: k,
 		Queries:    queries,
 		Seed:       seed,
@@ -159,15 +174,41 @@ func runBenchJSON(name, dist string, d, k int, scale float64, queries int, seed 
 		{"LP-CTA", kspr.LPCTA},
 		{"k-skyband", kspr.KSkybandCTA},
 	}
-	for _, a := range algos {
+	sweep := func(label string, algo kspr.Algorithm, parallelism int) (int64, error) {
 		start := time.Now()
 		for _, f := range focals {
-			if _, err := db.KSPR(f, k, kspr.WithAlgorithm(a.algo), kspr.WithoutGeometry()); err != nil {
-				return fmt.Errorf("%s focal %d: %w", a.label, f, err)
+			_, err := db.KSPR(f, k, kspr.WithAlgorithm(algo), kspr.WithoutGeometry(),
+				kspr.WithParallelism(parallelism))
+			if err != nil {
+				return 0, fmt.Errorf("%s focal %d: %w", label, f, err)
 			}
 		}
-		sum.Algorithms[a.label] = time.Since(start).Nanoseconds() / int64(len(focals))
-		fmt.Printf("%-10s %12d ns/op\n", a.label, sum.Algorithms[a.label])
+		return time.Since(start).Nanoseconds() / int64(len(focals)), nil
+	}
+	for _, a := range algos {
+		ns, err := sweep(a.label, a.algo, 1)
+		if err != nil {
+			return err
+		}
+		sum.Algorithms[a.label] = ns
+		fmt.Printf("%-10s %12d ns/op\n", a.label, ns)
+	}
+	if par > 1 {
+		sum.Parallelism = par
+		sum.AlgorithmsParallel = map[string]int64{}
+		sum.Speedup = map[string]float64{}
+		for _, a := range algos {
+			ns, err := sweep(a.label, a.algo, par)
+			if err != nil {
+				return err
+			}
+			sum.AlgorithmsParallel[a.label] = ns
+			if ns > 0 {
+				sum.Speedup[a.label] = float64(sum.Algorithms[a.label]) / float64(ns)
+			}
+			fmt.Printf("%-10s %12d ns/op (parallelism=%d, %.2fx)\n",
+				a.label, ns, par, sum.Speedup[a.label])
+		}
 	}
 	// The approximate query is part of the serving surface; track it too.
 	start := time.Now()

@@ -40,14 +40,16 @@ func (d *dataFlags) Set(s string) error {
 func main() {
 	var preload dataFlags
 	var (
-		addr    = flag.String("addr", ":8080", "listen address")
-		workers = flag.Int("workers", 0, "worker pool size (0 = 4)")
-		queue   = flag.Int("queue", 0, "worker queue length (0 = 64)")
-		cache   = flag.Int("cache", 0, "result cache capacity in entries (0 = 1024)")
-		shards  = flag.Int("cache-shards", 0, "result cache shard count (0 = 8)")
-		timeout = flag.Duration("timeout", 30*time.Second, "default per-query timeout")
-		maxWait = flag.Duration("max-timeout", 5*time.Minute, "largest per-query timeout a request may ask for")
-		grace   = flag.Duration("grace", 15*time.Second, "shutdown grace period")
+		addr     = flag.String("addr", ":8080", "listen address")
+		workers  = flag.Int("workers", 0, "worker pool size (0 = 4)")
+		queue    = flag.Int("queue", 0, "worker queue length (0 = 64)")
+		cache    = flag.Int("cache", 0, "result cache capacity in entries (0 = 1024)")
+		shards   = flag.Int("cache-shards", 0, "result cache shard count (0 = 8)")
+		timeout  = flag.Duration("timeout", 30*time.Second, "default per-query timeout")
+		maxWait  = flag.Duration("max-timeout", 5*time.Minute, "largest per-query timeout a request may ask for")
+		grace    = flag.Duration("grace", 15*time.Second, "shutdown grace period")
+		maxPar   = flag.Int("max-parallelism", 0, "largest engine parallelism a request may ask for (0 = all cores)")
+		cpuSlots = flag.Int("cpu-slots", 0, "extra CPU slots shared by parallel queries (0 = cores minus workers, -1 = none)")
 	)
 	flag.Var(&preload, "data", "preload dataset as name=path.csv (repeatable)")
 	flag.Parse()
@@ -59,6 +61,8 @@ func main() {
 		CacheShards:    *shards,
 		DefaultTimeout: *timeout,
 		MaxTimeout:     *maxWait,
+		MaxParallelism: *maxPar,
+		CPUSlots:       *cpuSlots,
 	})
 	for _, spec := range preload {
 		name, path, ok := strings.Cut(spec, "=")

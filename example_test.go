@@ -1,6 +1,7 @@
 package kspr_test
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"math/rand"
@@ -34,6 +35,61 @@ func Example() {
 	// Output:
 	// regions: 5
 	// Kyma shortlisted for 93% of preferences
+}
+
+// ExampleWithParallelism runs one query twice — serially and on a 4-worker
+// engine — and shows that the answers are identical: parallelism trades CPU
+// for latency without changing a single region.
+func ExampleWithParallelism() {
+	rng := rand.New(rand.NewSource(1))
+	records := make([][]float64, 400)
+	for i := range records {
+		records[i] = []float64{rng.Float64(), rng.Float64(), rng.Float64()}
+	}
+	db, err := kspr.Open(records)
+	if err != nil {
+		panic(err)
+	}
+	focal := db.Skyline()[0]
+	serial, err := db.KSPR(focal, 5, kspr.WithParallelism(1))
+	if err != nil {
+		panic(err)
+	}
+	parallel, err := db.KSPR(focal, 5, kspr.WithParallelism(4))
+	if err != nil {
+		panic(err)
+	}
+	identical := len(serial.Regions) == len(parallel.Regions)
+	for i := 0; identical && i < len(serial.Regions); i++ {
+		identical = serial.Regions[i].Rank == parallel.Regions[i].Rank &&
+			serial.Regions[i].Witness.Equal(parallel.Regions[i].Witness)
+	}
+	fmt.Printf("serial regions: %d\n", len(serial.Regions))
+	fmt.Printf("parallel matches serial: %v\n", identical)
+	// Output:
+	// serial regions: 43
+	// parallel matches serial: true
+}
+
+// ExampleWithContext bounds a query with a context deadline: processing
+// polls the context at expansion points and abandons the query as soon as
+// it is done.
+func ExampleWithContext() {
+	rng := rand.New(rand.NewSource(5))
+	records := make([][]float64, 300)
+	for i := range records {
+		records[i] = []float64{rng.Float64(), rng.Float64(), rng.Float64()}
+	}
+	db, err := kspr.Open(records)
+	if err != nil {
+		panic(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // already expired: the query stops at its first checkpoint
+	_, err = db.KSPR(db.Skyline()[0], 5, kspr.WithContext(ctx))
+	fmt.Println(err)
+	// Output:
+	// context canceled
 }
 
 // ExampleDB_TopK shows the plain top-k query against the same index.

@@ -7,10 +7,22 @@
 // see only root-path labels plus the space boundaries), the cached
 // interior-point shortcut of §4.3.2, and the dominance-graph shortcut of
 // P-CTA (Algorithm 2, optInsert).
+//
+// Insertion optionally fans out across goroutines: when a hyperplane cuts
+// through an internal node (case III), its two child subtrees are disjoint,
+// so with a Forks token budget attached the positive subtree is handed to a
+// fresh goroutine while the current one descends the negative side. Each
+// task carries its own DFS state, LP solver and counters, and joins merge
+// child results in negative-before-positive order, so the resulting tree,
+// the fresh-leaf order and every statistic are identical to a serial
+// insert. Only one Insert may run at a time; parallelism is *within* an
+// insertion, never across insertions.
 package celltree
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/geom"
 	"repro/internal/lp"
@@ -46,8 +58,10 @@ type Node struct {
 	Pruned   bool
 	Reported bool
 	// closed caches "no live leaf below": Pruned/Reported, or both
-	// children closed.
-	closed bool
+	// children closed. It is atomic because sibling subtree tasks of a
+	// parallel insert may close concurrently and race to propagate closure
+	// through their shared ancestors.
+	closed atomic.Bool
 
 	// WStar is a cached strictly-interior point of the node's region
 	// (§4.3.2); never nil for nodes created by a split.
@@ -63,7 +77,7 @@ type Node struct {
 func (n *Node) IsLeaf() bool { return n.Neg == nil && n.Pos == nil }
 
 // Closed reports whether no live leaf remains below the node.
-func (n *Node) Closed() bool { return n.closed }
+func (n *Node) Closed() bool { return n.closed.Load() }
 
 // Stats counts CellTree activity; the paper reports several of these as
 // side metrics (Figs. 11, 17).
@@ -75,6 +89,61 @@ type Stats struct {
 	DomShortcuts     int // case II decided by the dominance graph
 	GeomDecides      int // cases decided by exact vertex geometry
 	ConstraintRows   int // total constraint rows across feasibility tests
+}
+
+// Add accumulates o into s; insertion tasks count into task-local Stats and
+// merge them at joins, so totals equal a serial run's regardless of how the
+// work was split.
+func (s *Stats) Add(o Stats) {
+	s.NodesCreated += o.NodesCreated
+	s.Splits += o.Splits
+	s.FeasibilityTests += o.FeasibilityTests
+	s.WStarSkips += o.WStarSkips
+	s.DomShortcuts += o.DomShortcuts
+	s.GeomDecides += o.GeomDecides
+	s.ConstraintRows += o.ConstraintRows
+}
+
+// Forks is the fork-token budget of a parallel tree operation: a tree with
+// a Forks of n tokens may run up to n extra goroutines beyond the caller's.
+// Tokens are claimed with a non-blocking TryAcquire at case-III internal
+// nodes — when none is free the subtree is processed inline, which makes
+// the schedule adaptive (work-stealing in effect: idle capacity is soaked
+// up by whichever task next reaches a fork point) without any queueing.
+type Forks struct {
+	tokens chan struct{}
+}
+
+// NewForks returns a budget of n extra-goroutine tokens; n <= 0 yields a
+// budget that never grants (equivalent to a nil *Forks).
+func NewForks(n int) *Forks {
+	if n <= 0 {
+		return nil
+	}
+	f := &Forks{tokens: make(chan struct{}, n)}
+	for i := 0; i < n; i++ {
+		f.tokens <- struct{}{}
+	}
+	return f
+}
+
+// TryAcquire claims a fork token without blocking; a nil receiver never
+// grants.
+func (f *Forks) TryAcquire() bool {
+	if f == nil {
+		return false
+	}
+	select {
+	case <-f.tokens:
+		return true
+	default:
+		return false
+	}
+}
+
+// Release returns a token claimed by TryAcquire.
+func (f *Forks) Release() {
+	f.tokens <- struct{}{}
 }
 
 // Tree is a CellTree over a preference space of dimension Dim with boundary
@@ -94,6 +163,39 @@ type Tree struct {
 
 	Stats   Stats
 	LPStats *lp.Stats
+
+	// Forks, when non-nil, lets Insert fan disjoint cell subtrees out
+	// across extra goroutines (see the package comment); nil keeps
+	// insertion single-threaded as in the paper.
+	Forks *Forks
+
+	// PrunedCells counts subtrees eliminated by the top-k rank bound
+	// (Algorithm 1 lines 12-13 and look-ahead prunes). It is the one
+	// counter insertion tasks share directly — a lock-free atomic rather
+	// than a task-local merge — so concurrent subtree tasks and the
+	// coordinating goroutine can all observe pruning progress live.
+	PrunedCells atomic.Int64
+
+	// solver is the root insertion task's reusable LP workspace; forked
+	// tasks draw theirs from solverPool, so arenas survive across forks
+	// and inserts instead of being rebuilt per task.
+	solver     *lp.Solver
+	solverPool sync.Pool
+}
+
+// takeSolver hands a pooled task solver out, rebound to the task's stats.
+func (t *Tree) takeSolver(stats *lp.Stats) *lp.Solver {
+	if sv, ok := t.solverPool.Get().(*lp.Solver); ok {
+		sv.SetStats(stats)
+		return sv
+	}
+	return lp.NewSolver(stats)
+}
+
+// putSolver returns a task solver to the pool once its task has finished.
+func (t *Tree) putSolver(sv *lp.Solver) {
+	sv.SetStats(nil)
+	t.solverPool.Put(sv)
 }
 
 // New creates a CellTree whose root covers the whole preference space.
@@ -114,17 +216,22 @@ func New(dim, k int, bounds []geom.Constraint, interior geom.Vector, lpStats *lp
 	t.FreshLeaves = append(t.FreshLeaves, t.Root)
 	if k <= 0 {
 		t.Root.Pruned = true
-		t.Root.closed = true
+		t.Root.closed.Store(true)
 	}
 	return t
 }
 
-// insertCtx carries the per-insertion DFS state.
+// insertCtx carries the DFS state of one insertion task. The root Insert
+// call owns one; every forked subtree task gets a deep copy of the
+// path-dependent state plus fresh accumulators, so tasks never share
+// mutable memory (the lone exceptions: the tree's atomic closure flags and
+// the atomic prune counter).
 type insertCtx struct {
 	h geom.Hyperplane
 	// domIDs are records known to dominate the record of h (nil for CTA);
 	// if any of them contributes a negative halfspace on the current path,
-	// h's negative halfspace covers the node (Lemma 4 / optInsert).
+	// h's negative halfspace covers the node (Lemma 4 / optInsert). Never
+	// mutated during the insert, so tasks share it.
 	domIDs map[int]bool
 	// cons = Bounds + labels on the current path (the Lemma-2 constraint
 	// set for the current node).
@@ -135,16 +242,51 @@ type insertCtx struct {
 	// negIDs multiset of record IDs contributing negative halfspaces on the
 	// current path.
 	negIDs map[int]int
+	// stats / lpStats are the task-local counters; solver the task's
+	// reusable LP workspace (accounting into lpStats).
+	stats   Stats
+	lpStats lp.Stats
+	solver  *lp.Solver
+	// fresh collects the leaves this task created, in DFS order; joins
+	// concatenate negative-side before positive-side so the merged order
+	// equals the serial insertion order.
+	fresh []*Node
+}
+
+// forkTask snapshots ctx for a subtree handed to another goroutine: the
+// path state is deep-copied (the parent keeps pushing/popping its own) and
+// the accumulators start empty. The caller attaches a pooled solver.
+func (ctx *insertCtx) forkTask() *insertCtx {
+	nc := &insertCtx{
+		h:      ctx.h,
+		domIDs: ctx.domIDs,
+		cons:   append([]geom.Constraint(nil), ctx.cons...),
+		pos:    ctx.pos,
+		negIDs: make(map[int]int, len(ctx.negIDs)),
+	}
+	for id, n := range ctx.negIDs {
+		nc.negIDs[id] = n
+	}
+	return nc
+}
+
+// join merges a finished subtree task back into its parent.
+func (ctx *insertCtx) join(o *insertCtx) {
+	ctx.stats.Add(o.stats)
+	ctx.lpStats.Add(o.lpStats)
+	ctx.fresh = append(ctx.fresh, o.fresh...)
 }
 
 // Insert adds the hyperplane h to the arrangement. domIDs optionally lists
 // processed records that dominate h's record (P-CTA's dominance-graph
-// shortcut); pass nil to disable.
+// shortcut); pass nil to disable. With t.Forks attached the insertion fans
+// out over cell subtrees; the outcome is identical either way. Insert
+// itself must not be called concurrently.
 func (t *Tree) Insert(h geom.Hyperplane, domIDs map[int]bool) error {
 	if h.Kind != geom.Proper {
 		return fmt.Errorf("celltree: inserting non-proper hyperplane %v (kind %d)", h, h.Kind)
 	}
-	if t.Root.closed {
+	if t.Root.closed.Load() {
 		return nil
 	}
 	ctx := &insertCtx{
@@ -153,11 +295,24 @@ func (t *Tree) Insert(h geom.Hyperplane, domIDs map[int]bool) error {
 		cons:   append([]geom.Constraint(nil), t.Bounds...),
 		negIDs: make(map[int]int),
 	}
-	return t.insert(t.Root, ctx)
+	if t.solver == nil {
+		t.solver = lp.NewSolver(nil)
+	}
+	t.solver.SetStats(&ctx.lpStats)
+	ctx.solver = t.solver
+	err := t.insert(t.Root, ctx)
+	// Merge the task tree's accumulators (even on error: partial counts
+	// mirror what a serial run would have recorded before failing).
+	t.Stats.Add(ctx.stats)
+	if t.LPStats != nil {
+		t.LPStats.Add(ctx.lpStats)
+	}
+	t.FreshLeaves = append(t.FreshLeaves, ctx.fresh...)
+	return err
 }
 
 func (t *Tree) insert(n *Node, ctx *insertCtx) error {
-	if n.closed {
+	if n.closed.Load() {
 		return nil
 	}
 	// Push this node's label and cover set onto the DFS state.
@@ -187,7 +342,7 @@ func (t *Tree) insert(n *Node, ctx *insertCtx) error {
 		for id := range ctx.domIDs {
 			if ctx.negIDs[id] > 0 {
 				n.Cover = append(n.Cover, geom.Halfspace{H: ctx.h, Sign: geom.Negative})
-				t.Stats.DomShortcuts++
+				ctx.stats.DomShortcuts++
 				return nil
 			}
 		}
@@ -206,13 +361,13 @@ func (t *Tree) insert(n *Node, ctx *insertCtx) error {
 		switch {
 		case lo > margin:
 			negFeasible, posFeasible, decided = false, true, true
-			t.Stats.GeomDecides++
+			ctx.stats.GeomDecides++
 		case hi < -margin:
 			negFeasible, posFeasible, decided = true, false, true
-			t.Stats.GeomDecides++
+			ctx.stats.GeomDecides++
 		case lo < -margin && hi > margin:
 			negFeasible, posFeasible, decided = true, true, true
-			t.Stats.GeomDecides++
+			ctx.stats.GeomDecides++
 		}
 	}
 
@@ -223,7 +378,7 @@ func (t *Tree) insert(n *Node, ctx *insertCtx) error {
 		if n.WStar != nil {
 			side = ctx.h.Side(n.WStar, sideTol)
 			if side != 0 {
-				t.Stats.WStarSkips++
+				ctx.stats.WStarSkips++
 			}
 		}
 		switch side {
@@ -269,7 +424,7 @@ func (t *Tree) insert(n *Node, ctx *insertCtx) error {
 
 	// Case III: h cuts through N.
 	if n.IsLeaf() {
-		t.split(n, ctx.h, negWitness, posWitness)
+		t.split(n, ctx, negWitness, posWitness)
 		// The positive child starts with one more positive halfspace; prune
 		// it immediately if it is already over budget.
 		if 1+ctx.pos+1 > t.K {
@@ -277,14 +432,39 @@ func (t *Tree) insert(n *Node, ctx *insertCtx) error {
 		}
 		return nil
 	}
-	if err := t.insert(n.Neg, ctx); err != nil {
-		return err
+	// The two child subtrees are disjoint: fan the positive side out to
+	// another goroutine when a fork token is free, descend the negative
+	// side here, and merge neg-before-pos so the result is order-identical
+	// to the serial recursion.
+	if t.Forks.TryAcquire() {
+		posCtx := ctx.forkTask()
+		posCtx.solver = t.takeSolver(&posCtx.lpStats)
+		done := make(chan error, 1)
+		go func() {
+			defer t.Forks.Release()
+			err := t.insert(n.Pos, posCtx)
+			t.putSolver(posCtx.solver)
+			done <- err
+		}()
+		negErr := t.insert(n.Neg, ctx)
+		posErr := <-done
+		ctx.join(posCtx)
+		if negErr != nil {
+			return negErr
+		}
+		if posErr != nil {
+			return posErr
+		}
+	} else {
+		if err := t.insert(n.Neg, ctx); err != nil {
+			return err
+		}
+		if err := t.insert(n.Pos, ctx); err != nil {
+			return err
+		}
 	}
-	if err := t.insert(n.Pos, ctx); err != nil {
-		return err
-	}
-	if n.Neg.closed && n.Pos.closed {
-		n.closed = true
+	if n.Neg.closed.Load() && n.Pos.closed.Load() {
+		n.closed.Store(true)
 	}
 	return nil
 }
@@ -313,13 +493,14 @@ func pushHalfspaces(ctx *insertCtx, n *Node) []int {
 	return negPushed
 }
 
-// testSide runs the Lemma-2 feasibility test for N ∩ h^sign.
+// testSide runs the Lemma-2 feasibility test for N ∩ h^sign on the task's
+// own LP solver.
 func (t *Tree) testSide(ctx *insertCtx, sign geom.Sign) (bool, geom.Vector) {
 	hs := geom.Halfspace{H: ctx.h, Sign: sign}
 	cons := append(ctx.cons, hs.AsConstraint())
-	t.Stats.FeasibilityTests++
-	t.Stats.ConstraintRows += len(cons)
-	in, err := lp.FeasibleInterior(cons, t.Dim, t.LPStats)
+	ctx.stats.FeasibilityTests++
+	ctx.stats.ConstraintRows += len(cons)
+	in, err := ctx.solver.FeasibleInterior(cons, t.Dim)
 	if err != nil {
 		// An LP failure here means severe numerical trouble; treat the side
 		// as empty, which only makes the result coarser, never wrong for
@@ -333,7 +514,8 @@ func (t *Tree) testSide(ctx *insertCtx, sign geom.Sign) (bool, geom.Vector) {
 // and h+ (case III at a leaf; both sides are known non-empty, no test
 // needed). Child geometry is derived from the parent's by one cut each;
 // witnesses default to child centroids when geometry is available.
-func (t *Tree) split(n *Node, h geom.Hyperplane, negWitness, posWitness geom.Vector) {
+func (t *Tree) split(n *Node, ctx *insertCtx, negWitness, posWitness geom.Vector) {
+	h := ctx.h
 	n.Neg = &Node{
 		Label:    geom.Halfspace{H: h, Sign: geom.Negative},
 		HasLabel: true,
@@ -356,14 +538,15 @@ func (t *Tree) split(n *Node, h geom.Hyperplane, negWitness, posWitness geom.Vec
 			n.Pos.WStar = n.Pos.Geom.Centroid()
 		}
 	}
-	t.Stats.NodesCreated += 2
-	t.Stats.Splits++
-	t.FreshLeaves = append(t.FreshLeaves, n.Neg, n.Pos)
+	ctx.stats.NodesCreated += 2
+	ctx.stats.Splits++
+	ctx.fresh = append(ctx.fresh, n.Neg, n.Pos)
 }
 
 // kill prunes n's whole subtree and propagates closure upward.
 func (t *Tree) kill(n *Node) {
 	n.Pruned = true
+	t.PrunedCells.Add(1)
 	t.markClosed(n)
 }
 
@@ -377,11 +560,16 @@ func (t *Tree) Report(n *Node) {
 // e.g. when look-ahead rank bounds disqualify it (§6.1).
 func (t *Tree) Prune(n *Node) { t.kill(n) }
 
+// markClosed closes n and propagates closure up through ancestors whose
+// both children are closed. Concurrent calls from sibling subtree tasks are
+// safe: the stores are sequentially consistent, so whichever sibling's
+// store lands last observes the other side closed and completes the
+// propagation.
 func (t *Tree) markClosed(n *Node) {
-	n.closed = true
+	n.closed.Store(true)
 	for p := n.Parent; p != nil; p = p.Parent {
-		if p.Neg.closed && p.Pos.closed {
-			p.closed = true
+		if p.Neg.closed.Load() && p.Pos.closed.Load() {
+			p.closed.Store(true)
 		} else {
 			break
 		}
@@ -389,14 +577,14 @@ func (t *Tree) markClosed(n *Node) {
 }
 
 // Done reports whether no live leaves remain.
-func (t *Tree) Done() bool { return t.Root.closed }
+func (t *Tree) Done() bool { return t.Root.closed.Load() }
 
 // LiveLeaves calls fn for every leaf that is neither pruned nor reported.
 // fn returning false stops the walk.
 func (t *Tree) LiveLeaves(fn func(*Node) bool) {
 	var walk func(n *Node) bool
 	walk = func(n *Node) bool {
-		if n.closed {
+		if n.closed.Load() {
 			return true
 		}
 		if n.IsLeaf() {
@@ -417,7 +605,7 @@ func (t *Tree) TakeFreshLeaves() []*Node {
 	t.FreshLeaves = nil
 	out := fresh[:0]
 	for _, n := range fresh {
-		if n.IsLeaf() && !n.closed {
+		if n.IsLeaf() && !n.closed.Load() {
 			out = append(out, n)
 		}
 	}

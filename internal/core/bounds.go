@@ -1,10 +1,6 @@
 package core
 
 import (
-	"runtime"
-	"sync"
-	"sync/atomic"
-
 	"repro/internal/celltree"
 	"repro/internal/geom"
 	"repro/internal/lp"
@@ -13,7 +9,11 @@ import (
 
 // boundFreshLeaves computes look-ahead rank bounds for every leaf created
 // since the previous batch and prunes / reports cells whose bounds decide
-// them (§6.4, Algorithm 3).
+// them (§6.4, Algorithm 3). Classification is a pure function of the
+// (immutable) cell and the index, so with engine workers available it fans
+// out across them, each on its own reusable LP solver; decisions apply in
+// leaf order below either way, keeping results bit-identical to the serial
+// path.
 func (r *runner) boundFreshLeaves() error {
 	fresh := r.ct.TakeFreshLeaves()
 	live := fresh[:0]
@@ -26,61 +26,39 @@ func (r *runner) boundFreshLeaves() error {
 		lower, upper int
 	}
 	decisions := make([]decision, len(live))
-	if r.opts.Parallel && len(live) >= 16 {
-		// Classification is a pure function of the (immutable) cell and the
-		// index, so it parallelizes; decisions apply in leaf order below,
-		// keeping results bit-identical to the serial path.
-		workers := runtime.GOMAXPROCS(0)
-		if workers > len(live) {
-			workers = len(live)
-		}
-		var wg sync.WaitGroup
-		var firstErr error
-		var errOnce sync.Once
-		stats := make([]lp.Stats, workers)
-		next := int64(-1)
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func(w int) {
-				defer wg.Done()
-				for {
-					i := int(atomic.AddInt64(&next, 1))
-					if i >= len(live) {
-						return
-					}
-					if err := r.cancelled(); err != nil {
-						errOnce.Do(func() { firstErr = err })
-						return
-					}
-					lo, hi, err := r.rankBounds(live[i], &stats[w])
-					if err != nil {
-						errOnce.Do(func() { firstErr = err })
-						return
-					}
-					decisions[i] = decision{lo, hi}
-				}
-			}(w)
-		}
-		wg.Wait()
-		if firstErr != nil {
-			return firstErr
-		}
+	if workers := r.workers(); workers > 1 && len(live) >= parallelLeafThreshold {
+		solvers, stats := r.lpWorkerSolvers(workers)
+		err := parallelDo(workers, len(live), func(w, i int) error {
+			if err := r.cancelled(); err != nil {
+				return err
+			}
+			lo, hi, err := r.rankBounds(live[i], solvers[w])
+			if err != nil {
+				return err
+			}
+			decisions[i] = decision{lo, hi}
+			return nil
+		})
 		for i := range stats {
-			r.lpStats.Solves += stats[i].Solves
-			r.lpStats.Pivots += stats[i].Pivots
+			r.lpStats.Add(stats[i])
+		}
+		if err != nil {
+			return err
 		}
 	} else {
+		sv := r.lpSolver()
 		for i, leaf := range live {
 			if err := r.cancelled(); err != nil {
 				return err
 			}
-			lo, hi, err := r.rankBounds(leaf, &r.lpStats)
+			lo, hi, err := r.rankBounds(leaf, sv)
 			if err != nil {
 				return err
 			}
 			decisions[i] = decision{lo, hi}
 		}
 	}
+	var pending []pendingRegion
 	for i, leaf := range live {
 		r.result.Stats.RankBoundCells++
 		switch {
@@ -88,14 +66,12 @@ func (r *runner) boundFreshLeaves() error {
 			r.ct.Prune(leaf)
 			r.result.Stats.EarlyPruned++
 		case decisions[i].upper <= r.opts.K:
-			if err := r.emit(leaf, decisions[i].upper, false); err != nil {
-				return err
-			}
+			pending = append(pending, pendingRegion{leaf: leaf, rank: decisions[i].upper})
 			r.ct.Report(leaf)
 			r.result.Stats.EarlyReported++
 		}
 	}
-	return nil
+	return r.emitAll(pending)
 }
 
 // cellBounds carries the per-cell quantities shared across the index
@@ -104,9 +80,9 @@ func (r *runner) boundFreshLeaves() error {
 type cellBounds struct {
 	cons       []geom.Constraint
 	pMin, pMax float64
-	// stats receives LP activity for this cell's bounds; per-worker when
+	// sv solves this cell's bound LPs (and accounts them); per-worker when
 	// bounds are computed in parallel.
-	stats *lp.Stats
+	sv *lp.Solver
 	// fast bounds (transformed space, FastBounds mode only)
 	useFast bool
 	wL, wU  geom.Vector // original-space d-dimensional corner weight vectors
@@ -147,9 +123,10 @@ func intervalOverVertices(verts []geom.Vector, obj geom.Vector, c float64) (floa
 
 // rankBounds computes [Rank(c), Rank̄(c)] for a cell: the best and worst
 // rank the focal record can attain inside it, over the FULL dataset
-// (processed or not — the bounds are independent of processing state).
-func (r *runner) rankBounds(leaf *celltree.Node, stats *lp.Stats) (int, int, error) {
-	cb := &cellBounds{cons: r.ct.PathConstraints(leaf), stats: stats}
+// (processed or not — the bounds are independent of processing state). sv
+// is the calling worker's LP solver.
+func (r *runner) rankBounds(leaf *celltree.Node, sv *lp.Solver) (int, int, error) {
+	cb := &cellBounds{cons: r.ct.PathConstraints(leaf), sv: sv}
 
 	if r.opts.Space == Original {
 		// Appendix C: every original-space cell touches the origin, so raw
@@ -216,7 +193,7 @@ func (r *runner) interval(cb *cellBounds, obj geom.Vector, c float64) (float64, 
 		lo, hi := intervalOverVertices(cb.verts, obj, c)
 		return lo, hi, nil
 	}
-	return r.scoreInterval(cb.cons, obj, c, cb.stats)
+	return scoreInterval(cb.sv, cb.cons, obj, c)
 }
 
 // diffInterval returns min (wantMax=false) or max of (v - focal)·w over the
@@ -233,7 +210,7 @@ func (r *runner) diffInterval(cb *cellBounds, v geom.Vector, wantMax bool) (floa
 		}
 		return lo, nil
 	}
-	val, _, st, err := lp.Bound(cb.cons, obj, wantMax, cb.stats)
+	val, _, st, err := cb.sv.Bound(cb.cons, obj, wantMax)
 	if err != nil {
 		return 0, err
 	}
@@ -309,16 +286,17 @@ func (r *runner) recordDecideOriginal(rec geom.Vector, cb *cellBounds, lower, up
 	return nil
 }
 
-// scoreInterval returns [min, max] of obj·w + c over the cell closure.
-func (r *runner) scoreInterval(cons []geom.Constraint, obj geom.Vector, c float64, stats *lp.Stats) (float64, float64, error) {
-	lo, _, st, err := lp.Bound(cons, obj, false, stats)
+// scoreInterval returns [min, max] of obj·w + c over the cell closure,
+// solving both LPs on sv.
+func scoreInterval(sv *lp.Solver, cons []geom.Constraint, obj geom.Vector, c float64) (float64, float64, error) {
+	lo, _, st, err := sv.Bound(cons, obj, false)
 	if err != nil {
 		return 0, 0, err
 	}
 	if st != lp.Optimal {
 		return 0, 0, errStatus(st)
 	}
-	hi, _, st, err := lp.Bound(cons, obj, true, stats)
+	hi, _, st, err := sv.Bound(cons, obj, true)
 	if err != nil {
 		return 0, 0, err
 	}
@@ -435,14 +413,14 @@ func (r *runner) groupDecide(e *rtree.Entry, cb *cellBounds, lower, upper *int) 
 		_, gHi := intervalOverVertices(cb.verts, hiObj, hiC)
 		return applyInterval(gLo, gHi, e.Count, cb, lower, upper), nil
 	}
-	gLo, _, st, err := lp.Bound(cb.cons, loObj, false, cb.stats)
+	gLo, _, st, err := cb.sv.Bound(cb.cons, loObj, false)
 	if err != nil {
 		return false, err
 	}
 	if st != lp.Optimal {
 		return false, errStatus(st)
 	}
-	gHi, _, st, err := lp.Bound(cb.cons, hiObj, true, cb.stats)
+	gHi, _, st, err := cb.sv.Bound(cb.cons, hiObj, true)
 	if err != nil {
 		return false, err
 	}

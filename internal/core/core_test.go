@@ -380,11 +380,11 @@ func TestRegionRanksAreConsistent(t *testing.T) {
 func TestParallelBoundsMatchSerial(t *testing.T) {
 	tr, recs := buildIND(t, 600, 4, 67)
 	focalID := tr.Skyline(nil)[0]
-	serial, err := Run(tr, recs[focalID], focalID, Options{K: 8, Algorithm: LPCTA})
+	serial, err := Run(tr, recs[focalID], focalID, Options{K: 8, Algorithm: LPCTA, Parallelism: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	parallel, err := Run(tr, recs[focalID], focalID, Options{K: 8, Algorithm: LPCTA, Parallel: true})
+	parallel, err := Run(tr, recs[focalID], focalID, Options{K: 8, Algorithm: LPCTA, Parallelism: 4})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -2,42 +2,112 @@ package core
 
 import (
 	"repro/internal/celltree"
+	"repro/internal/lp"
 	"repro/internal/polytope"
 )
 
-// emit converts a CellTree leaf into a result Region, optionally
-// materializing its exact geometry (the paper's finalization step at the
-// end of §4.2 — the only place exact halfspace intersection happens), and
-// hands it to the progressive callback.
-func (r *runner) emit(leaf *celltree.Node, rank int, exact bool) error {
+// pendingRegion queues a decided CellTree leaf for finalization: rank is
+// the focal record's rank to report, exact whether that rank is exact (a
+// surviving leaf) or an upper bound (an early-reported cell).
+type pendingRegion struct {
+	leaf  *celltree.Node
+	rank  int
+	exact bool
+}
+
+// buildRegion materializes one result region from a decided leaf,
+// optionally computing its exact geometry via halfspace intersection (the
+// paper's finalization step at the end of §4.2 — the only place exact
+// intersection happens). index is the region's final position in the
+// result; it seeds volume estimation, so a region's volume is independent
+// of how the build work was scheduled. buildRegion only reads shared query
+// state, so distinct leaves finalize concurrently as long as each call
+// gets its own lpStats.
+func (r *runner) buildRegion(p pendingRegion, index int, lpStats *lp.Stats) (Region, error) {
 	region := Region{
-		Constraints: r.ct.PathConstraints(leaf),
-		Witness:     leaf.WStar,
-		Rank:        rank,
-		RankExact:   exact,
+		Constraints: r.ct.PathConstraints(p.leaf),
+		Witness:     p.leaf.WStar,
+		Rank:        p.rank,
+		RankExact:   p.exact,
 	}
 	if r.opts.FinalizeGeometry || r.opts.ComputeVolumes {
 		var poly *polytope.Polytope
-		if g := leaf.Geom; g != nil {
+		if g := p.leaf.Geom; g != nil {
 			// Incrementally maintained geometry: already exact.
 			poly = &polytope.Polytope{Dim: r.dim, Facets: g.Facets, Vertices: g.Verts}
 		} else {
 			var err error
-			poly, err = polytope.FromConstraints(region.Constraints, r.dim, &r.lpStats)
+			poly, err = polytope.FromConstraints(region.Constraints, r.dim, lpStats)
 			if err != nil {
-				return err
+				return Region{}, err
 			}
 		}
 		if r.opts.FinalizeGeometry {
 			region.Vertices = poly.Vertices
 		}
 		if r.opts.ComputeVolumes {
-			region.Volume = poly.Volume(r.opts.VolumeSamples, r.opts.Seed+int64(len(r.result.Regions)))
+			region.Volume = poly.Volume(r.opts.VolumeSamples, r.opts.Seed+int64(index))
 		}
 	}
+	return region, nil
+}
+
+// appendRegion adds a finished region to the result and fires the
+// progressive callback; always called in deterministic region order.
+func (r *runner) appendRegion(region Region) {
 	r.result.Regions = append(r.result.Regions, region)
 	if r.opts.OnRegion != nil {
 		r.opts.OnRegion(region)
+	}
+}
+
+// emit finalizes and reports a single cell.
+func (r *runner) emit(leaf *celltree.Node, rank int, exact bool) error {
+	return r.emitAll([]pendingRegion{{leaf: leaf, rank: rank, exact: exact}})
+}
+
+// emitAll finalizes the pending cells — concurrently when the engine has
+// more than one worker and geometry work makes it worthwhile — and appends
+// them in order, so the result list and the OnRegion callback sequence are
+// identical to a serial run.
+func (r *runner) emitAll(pending []pendingRegion) error {
+	workers := r.workers()
+	heavy := r.opts.FinalizeGeometry || r.opts.ComputeVolumes
+	if workers <= 1 || len(pending) < 2 || !heavy {
+		for _, p := range pending {
+			if err := r.cancelled(); err != nil {
+				return err
+			}
+			region, err := r.buildRegion(p, len(r.result.Regions), &r.lpStats)
+			if err != nil {
+				return err
+			}
+			r.appendRegion(region)
+		}
+		return nil
+	}
+	base := len(r.result.Regions)
+	regions := make([]Region, len(pending))
+	stats := make([]lp.Stats, workers)
+	err := parallelDo(workers, len(pending), func(w, i int) error {
+		if err := r.cancelled(); err != nil {
+			return err
+		}
+		region, err := r.buildRegion(pending[i], base+i, &stats[w])
+		if err != nil {
+			return err
+		}
+		regions[i] = region
+		return nil
+	})
+	for i := range stats {
+		r.lpStats.Add(stats[i])
+	}
+	if err != nil {
+		return err
+	}
+	for _, region := range regions {
+		r.appendRegion(region)
 	}
 	return nil
 }
@@ -48,12 +118,14 @@ func (r *runner) finish() *Result {
 	st.Regions = len(r.result.Regions)
 	st.LPSolves = r.lpStats.Solves
 	st.LPPivots = r.lpStats.Pivots
+	st.Parallelism = r.workers()
 	if r.ct != nil {
 		st.CellTreeNodes = r.ct.CountNodes()
 		st.FeasibilityTests = r.ct.Stats.FeasibilityTests
 		st.ConstraintRows = r.ct.Stats.ConstraintRows
 		st.WStarSkips = r.ct.Stats.WStarSkips
 		st.DomShortcuts = r.ct.Stats.DomShortcuts
+		st.CellsPruned = int(r.ct.PrunedCells.Load())
 	}
 	return r.result
 }

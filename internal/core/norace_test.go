@@ -1,0 +1,6 @@
+//go:build !race
+
+package core
+
+// raceEnabled is false in regular builds: tests run their full matrices.
+const raceEnabled = false

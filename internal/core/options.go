@@ -30,6 +30,8 @@ const (
 	KSkybandCTA
 )
 
+// String names the algorithm as the paper does (CTA, P-CTA, LP-CTA,
+// k-skyband).
 func (a Algorithm) String() string {
 	switch a {
 	case CTA:
@@ -57,6 +59,7 @@ const (
 	Original
 )
 
+// String names the preference space ("transformed" or "original").
 func (s Space) String() string {
 	if s == Original {
 		return "original"
@@ -78,6 +81,7 @@ const (
 	RecordBounds
 )
 
+// String names the bound mode as Fig. 18's ablation labels it.
 func (b BoundsMode) String() string {
 	switch b {
 	case FastBounds:
@@ -116,11 +120,16 @@ type Options struct {
 	// OnRegion, when set, receives regions as soon as they are final
 	// (progressive reporting, a headline property of P-CTA/LP-CTA).
 	OnRegion func(Region)
-	// Parallel computes LP-CTA's look-ahead rank bounds concurrently
-	// (decisions still apply in deterministic order, so results are
-	// identical to the serial run). Off by default: the paper's algorithms
-	// are single-threaded.
-	Parallel bool
+	// Parallelism is the number of goroutines the expansion engine may use
+	// for this query: cell-subtree insertion, look-ahead rank-bound
+	// classification, and region finalization all fan out across this many
+	// workers, each with its own reusable LP solver state. Results are
+	// byte-identical to the serial run for every value — the engine merges
+	// work in deterministic order — so the setting trades CPU for latency
+	// only. <= 0 (the default) uses one worker per available CPU
+	// (runtime.GOMAXPROCS); 1 runs the paper's single-threaded algorithms
+	// unchanged.
+	Parallelism int
 	// Ctx, when non-nil, is polled at cell-tree expansion points (record
 	// insertion, rank-bound classification, batch boundaries). Once it is
 	// done, Run abandons the query and returns ctx.Err(), so callers can
@@ -184,6 +193,14 @@ type Stats struct {
 	RankBoundCells int
 	EarlyReported  int
 	EarlyPruned    int
+	// CellsPruned counts subtrees the top-k rank bound eliminated, read
+	// from the CellTree's shared atomic prune counter. It is identical
+	// between serial and parallel runs of the same query.
+	CellsPruned int
+	// Parallelism is the effective worker count the expansion engine ran
+	// with (1 = serial). It reflects configuration, not results: every
+	// other field is independent of it.
+	Parallelism int
 	// Regions is the result cardinality (Fig. 13b / 14b / 15d).
 	Regions int
 	// Elapsed is the wall-clock processing time including finalization.

@@ -1,0 +1,93 @@
+// Parallel expansion engine. A kSPR query has three CPU-heavy phases —
+// hyperplane insertion into the CellTree, look-ahead rank-bound
+// classification, and region finalization — and all three decompose into
+// independent units (cell subtrees, fresh leaves, decided cells). The
+// engine fans each phase across Options.Parallelism goroutines while
+// keeping every observable output byte-identical to the serial algorithms:
+//
+//   - insertion forks disjoint cell subtrees (celltree.Forks) and merges
+//     task results in deterministic negative-before-positive order;
+//   - rank bounds and finalization pull work items from a shared atomic
+//     cursor (work-stealing at item granularity) into per-worker slots,
+//     then apply the results in item order;
+//   - every worker owns a reusable lp.Solver, so LP scratch memory is
+//     per-worker arena state rather than per-call garbage;
+//   - the CellTree's atomic prune counter and closure flags are the only
+//     cross-worker shared state, both lock-free.
+package core
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// parallelLeafThreshold is the fresh-leaf batch size below which rank-bound
+// classification stays serial: below it goroutine startup dominates the LP
+// work being spread.
+const parallelLeafThreshold = 16
+
+// workers resolves Options.Parallelism: <= 0 means one worker per available
+// CPU, anything else is taken literally (1 = the paper's serial
+// algorithms).
+func (r *runner) workers() int {
+	p := r.opts.Parallelism
+	if p <= 0 {
+		p = runtime.GOMAXPROCS(0)
+	}
+	if p < 1 {
+		p = 1
+	}
+	return p
+}
+
+// parallelDo runs body(worker, i) for every i in [0, n) across up to
+// workers goroutines. Items are claimed from a shared atomic cursor, so a
+// worker that finishes its item immediately steals the next unclaimed one.
+// Each in-flight worker sees a distinct worker index in [0, workers), so
+// callers can give workers private state (solvers, stats) sized by the
+// workers argument. Errors are collected per item and the lowest-index one
+// is returned — the same error a serial left-to-right loop would surface —
+// with remaining items abandoned on the first failure.
+func parallelDo(workers, n int, body func(worker, i int) error) error {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := body(0, i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var next atomic.Int64
+	next.Store(-1)
+	var failed atomic.Bool
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1))
+				if i >= n || failed.Load() {
+					return
+				}
+				if err := body(w, i); err != nil {
+					errs[i] = err
+					failed.Store(true)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

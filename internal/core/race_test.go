@@ -1,0 +1,8 @@
+//go:build race
+
+package core
+
+// raceEnabled trims the heaviest test matrices when the race detector is
+// on: instrumentation slows the LP-heavy loops by an order of magnitude,
+// and the race job's goal is interleaving coverage, not numeric breadth.
+const raceEnabled = true

@@ -76,12 +76,47 @@ type runner struct {
 
 	ct      *celltree.Tree
 	lpStats lp.Stats
+	// solver is the coordinating goroutine's reusable LP workspace; engine
+	// workers get their own (see parallel.go).
+	solver *lp.Solver
+	// workerSolvers / workerStats are the rank-bound workers' persistent
+	// arenas, created once per query so solver workspaces survive across
+	// progressive batches.
+	workerSolvers []*lp.Solver
+	workerStats   []lp.Stats
 
 	// score bounds machinery (per-space objective for S(p))
 	pObj   geom.Vector
 	pConst float64
 
 	result *Result
+}
+
+// lpSolver returns the runner's serial-path LP solver, created on first
+// use and accounting into the query's LP totals.
+func (r *runner) lpSolver() *lp.Solver {
+	if r.solver == nil {
+		r.solver = lp.NewSolver(&r.lpStats)
+	}
+	return r.solver
+}
+
+// lpWorkerSolvers returns the query's persistent per-worker solvers with
+// their stats counters reset, ready for one parallel phase. workers is
+// constant for a query (r.workers()), so the slices are sized once and the
+// solvers' stats pointers stay valid for the query's lifetime.
+func (r *runner) lpWorkerSolvers(workers int) ([]*lp.Solver, []lp.Stats) {
+	if r.workerSolvers == nil {
+		r.workerStats = make([]lp.Stats, workers)
+		r.workerSolvers = make([]*lp.Solver, workers)
+		for w := range r.workerSolvers {
+			r.workerSolvers[w] = lp.NewSolver(&r.workerStats[w])
+		}
+	}
+	for w := range r.workerStats {
+		r.workerStats[w] = lp.Stats{}
+	}
+	return r.workerSolvers, r.workerStats
 }
 
 func (r *runner) run() (*Result, error) {
@@ -143,6 +178,11 @@ func (r *runner) run() (*Result, error) {
 	default:
 		return nil, fmt.Errorf("core: unknown space %d", r.opts.Space)
 	}
+	if w := r.workers(); w > 1 {
+		// Attach the engine's fork budget: insertions may then fan disjoint
+		// cell subtrees across w goroutines in total.
+		r.ct.Forks = celltree.NewForks(w - 1)
+	}
 
 	var err error
 	switch r.opts.Algorithm {
@@ -159,7 +199,9 @@ func (r *runner) run() (*Result, error) {
 		return nil, err
 	}
 
-	// Emit every surviving leaf (rank is exact there).
+	// Emit every surviving leaf (rank is exact there). The walk collects in
+	// DFS order; finalization fans out and appends in that same order.
+	var pending []pendingRegion
 	var walkErr error
 	r.ct.LiveLeaves(func(n *celltree.Node) bool {
 		if err := r.cancelled(); err != nil {
@@ -168,15 +210,15 @@ func (r *runner) run() (*Result, error) {
 		}
 		rank := r.baseRank + r.ct.Rank(n)
 		if rank <= r.opts.K {
-			if err := r.emit(n, rank, true); err != nil {
-				walkErr = err
-				return false
-			}
+			pending = append(pending, pendingRegion{leaf: n, rank: rank, exact: true})
 		}
 		return true
 	})
 	if walkErr != nil {
 		return nil, walkErr
+	}
+	if err := r.emitAll(pending); err != nil {
+		return nil, err
 	}
 	return r.finish(), nil
 }
@@ -412,13 +454,17 @@ func (r *runner) runProgressive() error {
 		for _, c := range toPrune {
 			r.ct.Prune(c)
 		}
-		for _, c := range toReport {
-			rank := r.baseRank + r.ct.Rank(c)
-			if err := r.emit(c, rank, true); err != nil {
-				reportErr = err
-				break
+		if len(toReport) > 0 {
+			pending := make([]pendingRegion, len(toReport))
+			for i, c := range toReport {
+				pending[i] = pendingRegion{leaf: c, rank: r.baseRank + r.ct.Rank(c), exact: true}
 			}
-			r.ct.Report(c)
+			if err := r.emitAll(pending); err != nil {
+				reportErr = err
+			}
+			for _, c := range toReport {
+				r.ct.Report(c)
+			}
 		}
 		if reportErr != nil {
 			return reportErr

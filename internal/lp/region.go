@@ -33,32 +33,8 @@ type Interior struct {
 // exactly the paper's notion of an infeasible cell (§4.2). The maximizing w
 // doubles as the cached interior point of §4.3.2.
 func FeasibleInterior(cons []geom.Constraint, dim int, stats *Stats) (Interior, error) {
-	m := len(cons)
-	a := make([][]float64, m)
-	b := make([]float64, m)
-	for i, c := range cons {
-		row := make([]float64, dim+1)
-		copy(row, c.A)
-		if c.Strict {
-			row[dim] = 1
-		}
-		a[i] = row
-		b[i] = c.B
-	}
-	obj := make([]float64, dim+1)
-	obj[dim] = 1
-	sol, err := Maximize(obj, a, b, stats)
-	if err != nil {
-		return Interior{}, err
-	}
-	if sol.Status != Optimal || sol.Objective <= InteriorEps {
-		return Interior{}, nil
-	}
-	return Interior{
-		Feasible: true,
-		Point:    geom.Vector(sol.X[:dim]).Clone(),
-		Slack:    sol.Objective,
-	}, nil
+	s := Solver{stats: stats}
+	return s.FeasibleInterior(cons, dim)
 }
 
 // Bound optimizes a linear objective over the CLOSURE of the region defined
@@ -68,25 +44,6 @@ func FeasibleInterior(cons []geom.Constraint, dim int, stats *Stats) (Interior, 
 // maximize=true computes sup obj·w, otherwise inf obj·w. The caller adds
 // any constant term itself (e.g. the p_d term of a transformed score).
 func Bound(cons []geom.Constraint, obj geom.Vector, maximize bool, stats *Stats) (float64, geom.Vector, Status, error) {
-	m := len(cons)
-	a := make([][]float64, m)
-	b := make([]float64, m)
-	for i, c := range cons {
-		a[i] = c.A
-		b[i] = c.B
-	}
-	var sol Solution
-	var err error
-	if maximize {
-		sol, err = Maximize(obj, a, b, stats)
-	} else {
-		sol, err = Minimize(obj, a, b, stats)
-	}
-	if err != nil {
-		return 0, nil, Optimal, err
-	}
-	if sol.Status != Optimal {
-		return 0, nil, sol.Status, nil
-	}
-	return sol.Objective, geom.Vector(sol.X).Clone(), Optimal, nil
+	s := Solver{stats: stats}
+	return s.Bound(cons, obj, maximize)
 }

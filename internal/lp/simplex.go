@@ -32,6 +32,7 @@ const (
 	Unbounded
 )
 
+// String names the solve outcome ("optimal", "infeasible", "unbounded").
 func (s Status) String() string {
 	switch s {
 	case Optimal:
@@ -70,10 +71,20 @@ var ErrIterationLimit = errors.New("lp: iteration limit exceeded")
 
 // Stats counts solver activity for instrumentation (e.g. the paper's
 // "number of LP calls" side metrics). Counters are not goroutine-safe;
-// each query runs its own Stats.
+// each query (and, under the parallel engine, each worker) runs its own
+// Stats and merges with Add.
 type Stats struct {
+	// Solves is the number of LPs solved; Pivots the total simplex pivots.
 	Solves int
 	Pivots int
+}
+
+// Add accumulates o into s. The parallel expansion engine uses it to merge
+// per-worker solver counters back into a query's totals; addition commutes,
+// so the merged totals match a serial run exactly.
+func (s *Stats) Add(o Stats) {
+	s.Solves += o.Solves
+	s.Pivots += o.Pivots
 }
 
 // tableau is a dense simplex tableau.
@@ -88,116 +99,17 @@ type tableau struct {
 	unbounded bool
 }
 
-// Maximize solves max c·x s.t. A·x <= b, x >= 0.
+// Maximize solves max c·x s.t. A·x <= b, x >= 0. It builds a throwaway
+// workspace; hot paths that solve many LPs should hold a Solver instead.
 func Maximize(c []float64, a [][]float64, b []float64, stats *Stats) (Solution, error) {
-	if stats != nil {
-		stats.Solves++
-	}
-	m := len(a)
-	n := len(c)
-	for i, row := range a {
-		if len(row) != n {
-			return Solution{}, fmt.Errorf("lp: row %d has %d coefficients, want %d", i, len(row), n)
-		}
-	}
-	if len(b) != m {
-		return Solution{}, fmt.Errorf("lp: %d rows but %d right-hand sides", m, len(b))
-	}
-
-	// Count artificials: one per negative-RHS row.
-	nArt := 0
-	for _, bi := range b {
-		if bi < 0 {
-			nArt++
-		}
-	}
-	cols := n + m + nArt
-	t := &tableau{
-		rows:  make([][]float64, m),
-		basis: make([]int, m),
-		m:     m,
-		cols:  cols,
-		nArt:  nArt,
-	}
-	art := n + m // next artificial column
-	for i := 0; i < m; i++ {
-		row := make([]float64, cols+1)
-		if b[i] >= 0 {
-			copy(row, a[i])
-			row[n+i] = 1 // slack
-			row[cols] = b[i]
-			t.basis[i] = n + i
-		} else {
-			for j, v := range a[i] {
-				row[j] = -v
-			}
-			row[n+i] = -1 // negated slack
-			row[art] = 1  // artificial
-			row[cols] = -b[i]
-			t.basis[i] = art
-			art++
-		}
-		t.rows[i] = row
-	}
-
-	if nArt > 0 {
-		// Phase 1: minimize the sum of artificials (the cost slice is a
-		// minimization row throughout).
-		t.cost = make([]float64, cols+1)
-		for j := n + m; j < cols; j++ {
-			t.cost[j] = 1
-		}
-		t.priceOut()
-		if err := t.iterate(stats); err != nil {
-			return Solution{}, err
-		}
-		if -t.cost[cols] > feasTol { // objective value = -cost[cols]
-			return Solution{Status: Infeasible}, nil
-		}
-		if err := t.evictArtificials(n, m); err != nil {
-			return Solution{}, err
-		}
-	}
-
-	// Phase 2: maximize c·x with artificial columns frozen.
-	t.cost = make([]float64, cols+1)
-	copy(t.cost, c)
-	for j := 0; j < cols; j++ {
-		t.cost[j] = -t.cost[j] // store as minimization row: minimize -c·x
-	}
-	t.priceOut()
-	if err := t.iterate(stats); err != nil {
-		return Solution{}, err
-	}
-	if t.unbounded {
-		return Solution{Status: Unbounded}, nil
-	}
-
-	x := make([]float64, n)
-	for i, bi := range t.basis {
-		if bi < n {
-			x[bi] = t.rows[i][cols]
-		}
-	}
-	obj := 0.0
-	for j := 0; j < n; j++ {
-		obj += c[j] * x[j]
-	}
-	return Solution{Status: Optimal, X: x, Objective: obj}, nil
+	s := Solver{stats: stats}
+	return s.Maximize(c, a, b)
 }
 
 // Minimize solves min c·x s.t. A·x <= b, x >= 0.
 func Minimize(c []float64, a [][]float64, b []float64, stats *Stats) (Solution, error) {
-	neg := make([]float64, len(c))
-	for i, v := range c {
-		neg[i] = -v
-	}
-	sol, err := Maximize(neg, a, b, stats)
-	if err != nil || sol.Status != Optimal {
-		return sol, err
-	}
-	sol.Objective = -sol.Objective
-	return sol, nil
+	s := Solver{stats: stats}
+	return s.Minimize(c, a, b)
 }
 
 // priceOut makes the cost row consistent with the current basis by

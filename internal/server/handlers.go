@@ -53,6 +53,14 @@ type queryRequest struct {
 	Seed        int64     `json:"seed,omitempty"`
 	TimeoutMs   int       `json:"timeout_ms,omitempty"`
 	NoCache     bool      `json:"no_cache,omitempty"`
+	// Parallelism asks the engine to expand this query on up to this many
+	// goroutines. Absent or 0 means serial: unlike the library default, the
+	// server only parallelizes when explicitly asked, so one request cannot
+	// grab cores unrequested. The grant is capped by the server's
+	// MaxParallelism and by what the shared CPU budget has free at
+	// execution time; results are identical at any value, so the field is
+	// excluded from the cache key.
+	Parallelism int `json:"parallelism,omitempty"`
 }
 
 type regionWire struct {
@@ -71,6 +79,8 @@ type statsWire struct {
 	LPSolves         int     `json:"lp_solves"`
 	EarlyReported    int     `json:"early_reported"`
 	EarlyPruned      int     `json:"early_pruned"`
+	CellsPruned      int     `json:"cells_pruned"`
+	Parallelism      int     `json:"parallelism,omitempty"`
 	Regions          int     `json:"regions"`
 	ElapsedMs        float64 `json:"elapsed_ms"`
 }
@@ -106,6 +116,8 @@ type batchRequest struct {
 	Seed      int64        `json:"seed,omitempty"`
 	TimeoutMs int          `json:"timeout_ms,omitempty"`
 	NoCache   bool         `json:"no_cache,omitempty"`
+	// Parallelism applies to each query of the batch; see queryRequest.
+	Parallelism int `json:"parallelism,omitempty"`
 }
 
 // batchLine is one NDJSON line of the batch stream.
@@ -413,6 +425,17 @@ func (s *Server) runKSPR(ctx context.Context, snap *Snapshot, req queryRequest) 
 		}
 	}
 
+	// Resolve the parallelism ask now; the actual CPU-slot grant happens on
+	// the worker, so slots are held only while the query runs, not while it
+	// queues.
+	ask := req.Parallelism
+	if ask < 1 {
+		ask = 1
+	}
+	if ask > s.cfg.MaxParallelism {
+		ask = s.cfg.MaxParallelism
+	}
+
 	val, err := s.pool.Submit(ctx, func(ctx context.Context) (any, error) {
 		if approx {
 			if req.FocalVector != nil {
@@ -420,12 +443,19 @@ func (s *Server) runKSPR(ctx context.Context, snap *Snapshot, req queryRequest) 
 			}
 			return snap.DB.KSPRApproxCtx(ctx, req.Focal, req.K, eps)
 		}
+		parallelism := 1
+		if ask > 1 {
+			granted := s.cpu.Acquire(ask - 1)
+			defer s.cpu.Release(granted)
+			parallelism = 1 + granted
+		}
 		opts := []kspr.QueryOption{
 			kspr.WithContext(ctx),
 			kspr.WithAlgorithm(algo),
 			kspr.WithSpace(space),
 			kspr.WithBoundsMode(bounds),
 			kspr.WithSeed(req.Seed),
+			kspr.WithParallelism(parallelism),
 		}
 		if req.Volumes {
 			opts = append(opts, kspr.WithVolumes(0))
@@ -496,6 +526,8 @@ func fillResult(resp *queryResponse, res *kspr.Result) {
 		LPSolves:         res.Stats.LPSolves,
 		EarlyReported:    res.Stats.EarlyReported,
 		EarlyPruned:      res.Stats.EarlyPruned,
+		CellsPruned:      res.Stats.CellsPruned,
+		Parallelism:      res.Stats.Parallelism,
 		Regions:          len(res.Regions),
 		ElapsedMs:        float64(res.Stats.Elapsed) / float64(time.Millisecond),
 	}
@@ -549,16 +581,17 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	for i, q := range req.Queries {
 		go func(i int, q batchQuery) {
 			resp, _, err := s.runKSPR(ctx, snap, queryRequest{
-				Dataset:   req.Dataset,
-				Focal:     q.Focal,
-				K:         q.K,
-				Algorithm: req.Algorithm,
-				Space:     req.Space,
-				Bounds:    req.Bounds,
-				Epsilon:   req.Epsilon,
-				Volumes:   req.Volumes,
-				Seed:      req.Seed,
-				NoCache:   req.NoCache,
+				Dataset:     req.Dataset,
+				Focal:       q.Focal,
+				K:           q.K,
+				Algorithm:   req.Algorithm,
+				Space:       req.Space,
+				Bounds:      req.Bounds,
+				Epsilon:     req.Epsilon,
+				Volumes:     req.Volumes,
+				Seed:        req.Seed,
+				NoCache:     req.NoCache,
+				Parallelism: req.Parallelism,
 			})
 			if err != nil {
 				lines <- batchLine{Index: i, Error: err.Error(), Status: errStatusCode(err)}
@@ -821,6 +854,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	snap := s.metrics.Snapshot()
 	snap.Cache = s.cache.Stats()
 	snap.Pool = PoolStats{Workers: s.pool.Workers(), Depth: s.pool.Depth()}
+	snap.CPU = CPUStats{ExtraSlots: s.cpu.Slots(), InUse: s.cpu.InUse()}
 	snap.Datasets = s.registry.List()
 	writeJSON(w, http.StatusOK, snap)
 }

@@ -93,6 +93,7 @@ type MetricsSnapshot struct {
 	Latency       LatencyStats      `json:"latency"`
 	Cache         CacheStats        `json:"cache"`
 	Pool          PoolStats         `json:"pool"`
+	CPU           CPUStats          `json:"cpu"`
 	ByEndpoint    map[string]uint64 `json:"requests_by_endpoint"`
 	Datasets      []DatasetInfo     `json:"datasets"`
 }

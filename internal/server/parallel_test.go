@@ -1,0 +1,177 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"runtime"
+	"sync"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+// TestParallelismBudgetAccounting exercises the lock-free CPU budget
+// directly: grants never exceed the pool, partial grants degrade
+// gracefully, and releases restore capacity.
+func TestParallelismBudgetAccounting(t *testing.T) {
+	b := NewCPUBudget(3)
+	if got := b.Acquire(2); got != 2 {
+		t.Fatalf("first acquire granted %d, want 2", got)
+	}
+	if got := b.Acquire(5); got != 1 {
+		t.Fatalf("over-ask granted %d, want the remaining 1", got)
+	}
+	if got := b.Acquire(1); got != 0 {
+		t.Fatalf("exhausted budget granted %d, want 0", got)
+	}
+	if b.InUse() != 3 {
+		t.Fatalf("InUse = %d, want 3", b.InUse())
+	}
+	b.Release(3)
+	if b.InUse() != 0 || b.Slots() != 3 {
+		t.Fatalf("after release: in use %d, slots %d", b.InUse(), b.Slots())
+	}
+	// Concurrent acquire/release must conserve slots.
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				n := b.Acquire(2)
+				b.Release(n)
+			}
+		}()
+	}
+	wg.Wait()
+	if b.InUse() != 0 {
+		t.Fatalf("slots leaked: in use %d after all releases", b.InUse())
+	}
+}
+
+// TestParallelQueryMatchesSerialOverHTTP asserts the serving path keeps the
+// engine's determinism guarantee: the same query answered serially and with
+// a parallelism grant returns identical regions.
+func TestParallelQueryMatchesSerialOverHTTP(t *testing.T) {
+	// CPUSlots is forced high so the grant is real even on a 1-CPU runner.
+	_, ts := newTestServer(t, Config{Workers: 2, MaxParallelism: 8, CPUSlots: 8, CacheCapacity: 1})
+	loadGenerated(t, ts, "ind", 400, 4, 11)
+
+	run := func(parallelism int) queryResponse {
+		resp, body := postJSON(t, ts.URL+"/v1/kspr", queryRequest{
+			Dataset: "ind", Focal: 17, K: 6, Parallelism: parallelism, NoCache: true,
+		})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d: %s", resp.StatusCode, body)
+		}
+		var qr queryResponse
+		if err := json.Unmarshal(body, &qr); err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		return qr
+	}
+	serial := run(1)
+	parallel := run(8)
+	if parallel.Stats.Parallelism != 8 {
+		t.Fatalf("parallel run reports parallelism %d, want the full grant of 8", parallel.Stats.Parallelism)
+	}
+	if len(serial.Regions) != len(parallel.Regions) {
+		t.Fatalf("region counts differ: %d serial, %d parallel", len(serial.Regions), len(parallel.Regions))
+	}
+	for i := range serial.Regions {
+		s, p := serial.Regions[i], parallel.Regions[i]
+		if s.Rank != p.Rank || len(s.Witness) != len(p.Witness) {
+			t.Fatalf("region %d differs: %+v vs %+v", i, s, p)
+		}
+		for j := range s.Witness {
+			if s.Witness[j] != p.Witness[j] {
+				t.Fatalf("region %d witness differs at %d", i, j)
+			}
+		}
+	}
+}
+
+// TestParallelQueriesUnderReload is the race-detector stress for the whole
+// serving stack: concurrent parallel queries (engine parallelism > 1)
+// against a dataset that is being hot-reloaded under them. Every query must
+// finish cleanly on the snapshot it resolved — reloads must never disturb
+// in-flight parallel expansion.
+func TestParallelQueriesUnderReload(t *testing.T) {
+	srv, ts := newTestServer(t, Config{
+		Workers: 4, MaxParallelism: 6, CPUSlots: 8, CacheCapacity: 1,
+	})
+	loadGenerated(t, ts, "hot", 250, 4, 3)
+
+	const queriers = 4
+	const queriesEach = 6
+	const reloads = 10
+	var wg sync.WaitGroup
+	errc := make(chan error, queriers*queriesEach+reloads)
+
+	// Everything below runs on spawned goroutines, where t.Fatal is off
+	// limits: failures are routed through errc and raised at the end.
+	for g := 0; g < queriers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < queriesEach; i++ {
+				raw, err := json.Marshal(queryRequest{
+					Dataset: "hot", Focal: (g*queriesEach + i) % 250, K: 5,
+					Parallelism: 6, NoCache: true, NoGeometry: true,
+				})
+				if err != nil {
+					errc <- err
+					return
+				}
+				resp, err := http.Post(ts.URL+"/v1/kspr", "application/json", bytes.NewReader(raw))
+				if err != nil {
+					errc <- err
+					return
+				}
+				body, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					errc <- &httpError{status: resp.StatusCode, body: string(body)}
+					return
+				}
+			}
+		}(g)
+	}
+
+	// Reload the dataset continuously while the queries run, alternating
+	// sizes so every reload builds a genuinely different snapshot.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < reloads; i++ {
+			n := 200 + 50*(i%2)
+			ds, err := dataset.Generate(dataset.Independent, n, 4, int64(i))
+			if err != nil {
+				errc <- err
+				return
+			}
+			if _, err := srv.Registry().Load("hot", ds, "reload"); err != nil {
+				errc <- err
+				return
+			}
+		}
+	}()
+
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+	if runtime.NumGoroutine() > 200 {
+		t.Fatalf("goroutine leak suspected: %d goroutines live", runtime.NumGoroutine())
+	}
+}
+
+type httpError struct {
+	status int
+	body   string
+}
+
+func (e *httpError) Error() string { return "unexpected status " + e.body }

@@ -3,6 +3,7 @@ package server
 import (
 	"context"
 	"net/http"
+	"runtime"
 	"time"
 )
 
@@ -24,6 +25,17 @@ type Config struct {
 	MaxTimeout     time.Duration
 	// MaxBatch caps the number of queries a single batch request may carry.
 	MaxBatch int
+	// MaxParallelism caps the engine parallelism a single request may ask
+	// for via its "parallelism" field (default: GOMAXPROCS). Requests
+	// never get more than the shared CPU budget has free, so raising this
+	// does not unbound total CPU.
+	MaxParallelism int
+	// CPUSlots sizes the shared budget of extra CPU slots parallel queries
+	// draw from; total expansion concurrency stays within Workers +
+	// CPUSlots. Default: max(0, GOMAXPROCS - Workers), i.e. parallel
+	// queries may use cores the worker pool leaves idle. Set -1 to force a
+	// zero budget (every query serial).
+	CPUSlots int
 }
 
 func (c *Config) normalize() {
@@ -42,6 +54,17 @@ func (c *Config) normalize() {
 	if c.MaxBatch <= 0 {
 		c.MaxBatch = 1024
 	}
+	if c.MaxParallelism <= 0 {
+		c.MaxParallelism = runtime.GOMAXPROCS(0)
+	}
+	switch {
+	case c.CPUSlots < 0:
+		c.CPUSlots = 0
+	case c.CPUSlots == 0:
+		if extra := runtime.GOMAXPROCS(0) - c.Workers; extra > 0 {
+			c.CPUSlots = extra
+		}
+	}
 }
 
 // Server is the ksprd service: registry + pool + cache + metrics behind an
@@ -51,6 +74,7 @@ type Server struct {
 	registry *Registry
 	pool     *Pool
 	cache    *Cache
+	cpu      *CPUBudget
 	metrics  *Metrics
 	mux      *http.ServeMux
 }
@@ -63,6 +87,7 @@ func NewServer(cfg Config) *Server {
 		registry: NewRegistry(),
 		pool:     NewPool(cfg.Workers, cfg.Queue),
 		cache:    NewCache(cfg.CacheShards, cfg.CacheCapacity),
+		cpu:      NewCPUBudget(cfg.CPUSlots),
 		metrics:  NewMetrics(),
 	}
 	mux := http.NewServeMux()

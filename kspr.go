@@ -187,11 +187,25 @@ func WithContext(ctx context.Context) QueryOption {
 	return func(o *core.Options) { o.Ctx = ctx }
 }
 
-// WithParallelBounds computes LP-CTA's look-ahead rank bounds on all CPU
-// cores. Results are identical to the serial run (decisions apply in a
-// deterministic order); only wall-clock time changes.
+// WithParallelism sets how many goroutines the expansion engine may use
+// for this query: CellTree subtree insertion, look-ahead rank-bound
+// classification, and region finalization all fan out across n workers,
+// each with its own reusable LP solver state. Results are byte-identical
+// to the serial run for every n — the engine merges work in deterministic
+// order — so the setting trades CPU for latency only. n <= 0 (the library
+// default) uses one worker per available CPU; n == 1 runs the paper's
+// single-threaded algorithms unchanged.
+func WithParallelism(n int) QueryOption {
+	return func(o *core.Options) { o.Parallelism = n }
+}
+
+// WithParallelBounds runs the query engine on all CPU cores.
+//
+// Deprecated: the engine now parallelizes every expansion phase, not just
+// LP-CTA's rank bounds. Use WithParallelism instead; WithParallelBounds is
+// equivalent to WithParallelism(0).
 func WithParallelBounds() QueryOption {
-	return func(o *core.Options) { o.Parallel = true }
+	return WithParallelism(0)
 }
 
 // KSPR answers the k-Shortlist Preference Region query for the dataset

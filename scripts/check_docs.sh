@@ -1,0 +1,57 @@
+#!/bin/sh
+# check_docs.sh fails when an exported identifier in the core packages is
+# missing a doc comment, or when one of those packages lacks a package
+# comment. It is a plain-text gate (no deps beyond POSIX awk) run by the CI
+# docs job and `make docs`.
+set -eu
+cd "$(dirname "$0")/.."
+
+PKGS="internal/core internal/celltree internal/lp internal/server ."
+
+fail=0
+for pkg in $PKGS; do
+    for f in "$pkg"/*.go; do
+        case "$f" in
+        *_test.go) continue ;;
+        esac
+        # Exported top-level declarations must be preceded by a comment
+        # line. Grouped const/var blocks are covered by the block comment,
+        # so only the introducing line is checked.
+        out=$(awk '
+            /^(func|type) [A-Z]/ ||
+            /^func \([A-Za-z_]+ \*?[A-Z][A-Za-z]*(\[[^]]*\])?\) [A-Z]/ ||
+            /^(const|var) [A-Z]/ {
+                if (prev !~ /^\/\// && prev !~ /\*\/[[:space:]]*$/)
+                    printf "%s:%d: missing doc comment: %s\n", FILENAME, FNR, $0
+            }
+            { prev = $0 }
+        ' "$f")
+        if [ -n "$out" ]; then
+            echo "$out"
+            fail=1
+        fi
+    done
+    # Package comment: at least one file of the package must carry one
+    # (a comment line directly above its package clause).
+    has_pkg_doc=0
+    for f in "$pkg"/*.go; do
+        case "$f" in
+        *_test.go) continue ;;
+        esac
+        if awk '/^package / { if (prev ~ /^\/\//) found = 1; exit } { prev = $0 }
+                END { exit !found }' "$f"; then
+            has_pkg_doc=1
+            break
+        fi
+    done
+    if [ "$has_pkg_doc" -eq 0 ]; then
+        echo "$pkg: no file carries a package doc comment"
+        fail=1
+    fi
+done
+
+if [ "$fail" -ne 0 ]; then
+    echo "check_docs: FAILED (add doc comments above the identifiers listed)"
+    exit 1
+fi
+echo "check_docs: OK"

@@ -1,0 +1,30 @@
+#!/bin/sh
+# check_links.sh verifies that every relative link in the repository's
+# markdown files points at a file (or directory) that exists. External
+# http(s) and mailto links are skipped — CI must not depend on the network.
+set -eu
+cd "$(dirname "$0")/.."
+
+fail=0
+for md in $(find . -name '*.md' -not -path './.git/*'); do
+    dir=$(dirname "$md")
+    # Extract the (target) of every [text](target) pair, one per line.
+    links=$(grep -o '](\([^)]*\))' "$md" | sed 's/^](//; s/)$//' || true)
+    for link in $links; do
+        case "$link" in
+        http://* | https://* | mailto:* | \#*) continue ;;
+        esac
+        target=${link%%#*} # strip in-page anchors
+        [ -n "$target" ] || continue
+        if [ ! -e "$dir/$target" ]; then
+            echo "$md: broken link -> $link"
+            fail=1
+        fi
+    done
+done
+
+if [ "$fail" -ne 0 ]; then
+    echo "check_links: FAILED"
+    exit 1
+fi
+echo "check_links: OK"
