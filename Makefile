@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench fmt vet docs clean
+.PHONY: build test race bench fmt vet docs lint coverage benchgate ci clean
 
 build:
 	$(GO) build ./...
@@ -12,12 +12,14 @@ race:
 	$(GO) test -race ./...
 
 # bench writes BENCH_core.json: ns/op per algorithm with the serial engine
-# and with a 4-worker engine, plus the speedup ratio — the perf trajectory
-# successive PRs diff against. -parallel is pinned so the file's schema
-# does not depend on the host's core count (the recorded "cpus" field
-# tells you how much hardware the speedup had to work with).
+# and with a 4-worker engine, plus the speedup ratio, plus the shared-work
+# batch sweep (8 focals as one KSPRBatch pass vs 8 serial runs) — the perf
+# trajectory successive PRs diff against. -parallel and -batch are pinned
+# so the file's schema does not depend on the host's core count (the
+# recorded "cpus" field tells you how much hardware the speedups had to
+# work with; on a 1-CPU container both hover near 1.0x by physics).
 bench:
-	$(GO) run ./cmd/ksprbench -json -name core -scale 0.5 -queries 3 -parallel 4
+	$(GO) run ./cmd/ksprbench -json -name core -scale 0.5 -queries 3 -parallel 4 -batch 8
 
 fmt:
 	gofmt -l .
@@ -32,5 +34,38 @@ docs:
 	./scripts/check_links.sh
 	./scripts/check_docs.sh
 
+# lint mirrors CI's staticcheck step when the tool is installed locally
+# (go install honnef.co/go/tools/cmd/staticcheck@2025.1.1); it skips with a
+# note otherwise, so `make ci` works on minimal machines.
+lint:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./... ; \
+	else \
+		echo "lint: staticcheck not installed, skipping (CI runs it)" ; \
+	fi
+
+# coverage enforces the committed floor in scripts/coverage_floor.txt.
+coverage:
+	./scripts/check_coverage.sh
+
+# benchgate re-measures the BENCH_core.json workload and fails on >30%
+# ns/op regression (BENCH_MAX_REGRESS / BENCH_INJECT override; see
+# scripts/check_bench.sh).
+benchgate:
+	./scripts/check_bench.sh
+
+# ci mirrors the GitHub workflow locally: formatting, vet, build, race
+# tests, doc gates, lint, the coverage floor and the bench regression gate.
+ci:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+	$(GO) vet ./...
+	$(GO) build ./...
+	$(GO) test -race ./...
+	./scripts/check_links.sh
+	./scripts/check_docs.sh
+	$(MAKE) lint
+	$(MAKE) coverage
+	$(MAKE) benchgate
+
 clean:
-	rm -f BENCH_*.json
+	rm -f BENCH_ci.json cover.out

@@ -1,11 +1,16 @@
-// Command kspr answers a single k-Shortlist Preference Region query from
-// the terminal: load a CSV dataset (see ksprgen), pick a focal record and
-// k, and print the regions as text or JSON.
+// Command kspr answers k-Shortlist Preference Region queries from the
+// terminal: load a CSV dataset (see ksprgen), pick a focal record (or a
+// panel of them) and k, and print the regions as text or JSON.
 //
 // Example:
 //
 //	ksprgen -dist IND -n 5000 -d 3 -o d.csv
 //	kspr -data d.csv -focal 17 -k 10 -volumes
+//	kspr -data d.csv -focals 17,42,311 -k 10
+//
+// With -focals the panel runs as one shared-work batch (see
+// kspr.DB.KSPRBatch): dominance precomputation, candidate index and LP
+// arenas are built once and amortized across every focal option.
 package main
 
 import (
@@ -13,6 +18,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
 	kspr "repro"
@@ -23,6 +29,7 @@ func main() {
 	var (
 		dataPath = flag.String("data", "", "CSV dataset (required; header row, optional leading label column)")
 		focal    = flag.Int("focal", 0, "focal record index")
+		focals   = flag.String("focals", "", "comma-separated focal record indices: run the panel as one shared-work batch")
 		k        = flag.Int("k", 10, "shortlist size")
 		algo     = flag.String("algo", "lp-cta", "algorithm: cta, p-cta, lp-cta, k-skyband")
 		space    = flag.String("space", "transformed", "preference space: transformed, original")
@@ -35,6 +42,11 @@ func main() {
 	flag.Parse()
 	if *dataPath == "" {
 		fmt.Fprintln(os.Stderr, "kspr: -data is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *par < 0 {
+		fmt.Fprintf(os.Stderr, "kspr: -parallelism must be >= 0 (0 = all cores), got %d\n", *par)
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -52,9 +64,9 @@ func main() {
 		fmt.Fprintf(os.Stderr, "kspr: -k must be at least 1, got %d\n", *k)
 		os.Exit(2)
 	}
-	if *focal < 0 || *focal >= ds.Len() {
-		fmt.Fprintf(os.Stderr, "kspr: -focal %d is out of range: %s has records 0..%d\n",
-			*focal, *dataPath, ds.Len()-1)
+	panel, err := parseFocals(*focals, *focal, ds.Len())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "kspr: %v (%s has records 0..%d)\n", err, *dataPath, ds.Len()-1)
 		os.Exit(2)
 	}
 	db, err := kspr.Open(ds.Float64s())
@@ -86,7 +98,16 @@ func main() {
 		opts = append(opts, kspr.WithVolumes(20000))
 	}
 
-	res, err := db.KSPR(*focal, *k, opts...)
+	if len(panel) > 1 {
+		if *svgPath != "" {
+			fmt.Fprintln(os.Stderr, "kspr: -svg works with a single -focal, not a -focals panel")
+			os.Exit(2)
+		}
+		runPanel(db, ds, panel, *k, opts, *asJSON, *volumes)
+		return
+	}
+
+	res, err := db.KSPR(panel[0], *k, opts...)
 	if err != nil {
 		fatal(err)
 	}
@@ -139,6 +160,89 @@ func main() {
 	}
 	if *volumes {
 		fmt.Printf("impact probability (uniform preferences): %.4f\n", db.ImpactProbability(res, 100000, *seed))
+	}
+}
+
+// parseFocals resolves the -focal / -focals flags into the panel of focal
+// record indices, validating every index against the dataset size.
+func parseFocals(spec string, focal, n int) ([]int, error) {
+	if spec == "" {
+		if focal < 0 || focal >= n {
+			return nil, fmt.Errorf("-focal %d is out of range", focal)
+		}
+		return []int{focal}, nil
+	}
+	parts := strings.Split(spec, ",")
+	panel := make([]int, 0, len(parts))
+	for _, p := range parts {
+		id, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("invalid -focals entry %q", p)
+		}
+		if id < 0 || id >= n {
+			return nil, fmt.Errorf("-focals entry %d is out of range", id)
+		}
+		panel = append(panel, id)
+	}
+	return panel, nil
+}
+
+// panelItem is the JSON shape of one -focals batch answer.
+type panelItem struct {
+	Focal  int          `json:"focal"`
+	Error  string       `json:"error,omitempty"`
+	Result *kspr.Result `json:"result,omitempty"`
+}
+
+// runPanel answers the -focals panel as one shared-work batch and prints a
+// per-focal summary (or the full JSON results).
+func runPanel(db *kspr.DB, ds *dataset.Dataset, panel []int, k int, opts []kspr.QueryOption, asJSON, volumes bool) {
+	queries := make([]kspr.BatchQuery, len(panel))
+	for i, id := range panel {
+		queries[i] = kspr.BatchQuery{FocalID: id}
+	}
+	outs, err := db.KSPRBatch(queries, k, kspr.WithBatchOptions(opts...))
+	if err != nil {
+		fatal(err)
+	}
+	failed := 0
+	if asJSON {
+		items := make([]panelItem, len(outs))
+		for i, o := range outs {
+			items[i] = panelItem{Focal: panel[i], Result: o.Result}
+			if o.Err != nil {
+				items[i].Error = o.Err.Error()
+				failed++
+			}
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(items); err != nil {
+			fatal(err)
+		}
+	} else {
+		fmt.Printf("kSPR batch over %d focals, k=%d, %d records, d=%d\n",
+			len(panel), k, db.Len(), db.Dim())
+		for i, o := range outs {
+			name := fmt.Sprintf("record %d", panel[i])
+			if len(ds.Labels) > panel[i] {
+				name = fmt.Sprintf("%s (record %d)", ds.Labels[panel[i]], panel[i])
+			}
+			if o.Err != nil {
+				fmt.Printf("%-32s error: %v\n", name, o.Err)
+				failed++
+				continue
+			}
+			line := fmt.Sprintf("%-32s %3d regions  processed=%d elapsed=%v",
+				name, len(o.Result.Regions), o.Result.Stats.ProcessedRecords, o.Result.Stats.Elapsed)
+			if volumes {
+				line += fmt.Sprintf("  impact=%.4f", o.Result.TotalVolume())
+			}
+			fmt.Println(line)
+		}
+	}
+	if failed > 0 {
+		os.Exit(1)
 	}
 }
 

@@ -17,6 +17,14 @@
 //
 //	ksprbench -json -name pr12 -scale 0.5
 //	ksprbench -json -name core -parallel 4
+//
+// -batch N additionally sweeps the shared-work batch engine: N focal
+// options answered by one kspr.DB.KSPRBatch pass versus N independent
+// serial runs, recording per-algorithm batch ns/op and the batch speedup
+// (shared precomputation + arena reuse on one core; plus parallel
+// scheduling on multicore):
+//
+//	ksprbench -json -name core -parallel 4 -batch 8
 package main
 
 import (
@@ -46,11 +54,28 @@ func main() {
 		dims    = flag.Int("d", 4, "benchmark dimensionality for -json")
 		kFlag   = flag.Int("k", 10, "benchmark shortlist size for -json")
 		par     = flag.Int("parallel", 0, "parallel sweep worker count for -json (0 = all cores, 1 = skip the sweep)")
+		batch   = flag.Int("batch", 0, "batch sweep focal count for -json (0 = skip, otherwise >= 2)")
 	)
 	flag.Parse()
 
+	if *par < 0 {
+		fmt.Fprintf(os.Stderr, "ksprbench: -parallel must be >= 0 (0 = all cores, 1 = skip the sweep), got %d\n", *par)
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *batch < 0 || *batch == 1 {
+		fmt.Fprintf(os.Stderr, "ksprbench: -batch must be 0 (skip) or >= 2 focals, got %d\n", *batch)
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *queries < 1 {
+		fmt.Fprintf(os.Stderr, "ksprbench: -queries must be >= 1, got %d\n", *queries)
+		flag.Usage()
+		os.Exit(2)
+	}
+
 	if *asJSON {
-		if err := runBenchJSON(*name, *dist, *dims, *kFlag, *scale, *queries, *seed, *par); err != nil {
+		if err := runBenchJSON(*name, *dist, *dims, *kFlag, *scale, *queries, *seed, *par, *batch); err != nil {
 			fmt.Fprintln(os.Stderr, "ksprbench:", err)
 			os.Exit(1)
 		}
@@ -117,12 +142,23 @@ type benchSummary struct {
 	Parallelism        int                `json:"parallelism,omitempty"`
 	AlgorithmsParallel map[string]int64   `json:"ns_per_op_parallel,omitempty"`
 	Speedup            map[string]float64 `json:"speedup,omitempty"`
+	// Batch sweep (-batch N): ns/op for N focals answered as N independent
+	// serial runs versus one shared-work KSPRBatch pass on
+	// BatchParallelism workers, and the serial/batch ratio. On a single
+	// core the ratio isolates the shared-precomputation gain; on multicore
+	// it additionally reflects batch scheduling.
+	BatchFocals         int                `json:"batch_focals,omitempty"`
+	BatchParallelism    int                `json:"batch_parallelism,omitempty"`
+	AlgorithmsBatchBase map[string]int64   `json:"ns_per_op_batch_serial,omitempty"`
+	AlgorithmsBatch     map[string]int64   `json:"ns_per_op_batch,omitempty"`
+	BatchSpeedup        map[string]float64 `json:"batch_speedup,omitempty"`
 }
 
-// runBenchJSON times every algorithm on one synthetic workload — serially
-// and, unless par == 1, again on a par-worker engine — and writes the
-// ns/op summary to BENCH_<name>.json in the working directory.
-func runBenchJSON(name, dist string, d, k int, scale float64, queries int, seed int64, par int) error {
+// runBenchJSON times every algorithm on one synthetic workload — serially,
+// unless par == 1 again on a par-worker engine, and with nb > 0 as an
+// nb-focal batch versus nb serial runs — and writes the ns/op summary to
+// BENCH_<name>.json in the working directory.
+func runBenchJSON(name, dist string, d, k int, scale float64, queries int, seed int64, par, nb int) error {
 	n := int(2000 * scale)
 	if n < 100 {
 		n = 100
@@ -210,6 +246,53 @@ func runBenchJSON(name, dist string, d, k int, scale float64, queries int, seed 
 				a.label, ns, par, sum.Speedup[a.label])
 		}
 	}
+	if nb > 1 {
+		// Batch sweep: nb focals drawn from the skyband, answered as nb
+		// independent serial runs and as one shared-work batch.
+		bf := make([]int, nb)
+		bq := make([]kspr.BatchQuery, nb)
+		for i := range bf {
+			bf[i] = band[i*len(band)/nb]
+			bq[i] = kspr.BatchQuery{FocalID: bf[i]}
+		}
+		bpar := par
+		sum.BatchFocals = nb
+		sum.BatchParallelism = bpar
+		sum.AlgorithmsBatchBase = map[string]int64{}
+		sum.AlgorithmsBatch = map[string]int64{}
+		sum.BatchSpeedup = map[string]float64{}
+		for _, a := range algos {
+			start := time.Now()
+			for _, f := range bf {
+				if _, err := db.KSPR(f, k, kspr.WithAlgorithm(a.algo), kspr.WithoutGeometry(),
+					kspr.WithParallelism(1)); err != nil {
+					return fmt.Errorf("%s batch-serial focal %d: %w", a.label, f, err)
+				}
+			}
+			serialNs := time.Since(start).Nanoseconds() / int64(nb)
+
+			start = time.Now()
+			outs, err := db.KSPRBatch(bq, k, kspr.WithBatchOptions(
+				kspr.WithAlgorithm(a.algo), kspr.WithoutGeometry(), kspr.WithParallelism(bpar)))
+			if err != nil {
+				return fmt.Errorf("%s batch: %w", a.label, err)
+			}
+			batchNs := time.Since(start).Nanoseconds() / int64(nb)
+			for i, o := range outs {
+				if o.Err != nil {
+					return fmt.Errorf("%s batch focal %d: %w", a.label, bf[i], o.Err)
+				}
+			}
+			sum.AlgorithmsBatchBase[a.label] = serialNs
+			sum.AlgorithmsBatch[a.label] = batchNs
+			if batchNs > 0 {
+				sum.BatchSpeedup[a.label] = float64(serialNs) / float64(batchNs)
+			}
+			fmt.Printf("%-10s %12d ns/op (batch of %d, %.2fx vs serial)\n",
+				a.label, batchNs, nb, sum.BatchSpeedup[a.label])
+		}
+	}
+
 	// The approximate query is part of the serving surface; track it too.
 	start := time.Now()
 	for _, f := range focals {

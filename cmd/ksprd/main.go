@@ -50,6 +50,7 @@ func main() {
 		grace    = flag.Duration("grace", 15*time.Second, "shutdown grace period")
 		maxPar   = flag.Int("max-parallelism", 0, "largest engine parallelism a request may ask for (0 = all cores)")
 		cpuSlots = flag.Int("cpu-slots", 0, "extra CPU slots shared by parallel queries (0 = cores minus workers, -1 = none)")
+		maxBatch = flag.Int("max-batch", 0, "largest item count a /v1/kspr:batch request may carry (0 = 1024)")
 	)
 	flag.Var(&preload, "data", "preload dataset as name=path.csv (repeatable)")
 	flag.Parse()
@@ -63,6 +64,7 @@ func main() {
 		MaxTimeout:     *maxWait,
 		MaxParallelism: *maxPar,
 		CPUSlots:       *cpuSlots,
+		MaxBatch:       *maxBatch,
 	})
 	for _, spec := range preload {
 		name, path, ok := strings.Cut(spec, "=")

@@ -92,6 +92,41 @@ func ExampleWithContext() {
 	// context canceled
 }
 
+// ExampleDB_KSPRBatch answers kSPR for a panel of competing options in one
+// shared-work pass: the dominance precomputation, candidate index and LP
+// arenas are built once and amortized across every focal option.
+func ExampleDB_KSPRBatch() {
+	rng := rand.New(rand.NewSource(1))
+	records := make([][]float64, 400)
+	for i := range records {
+		records[i] = []float64{rng.Float64(), rng.Float64(), rng.Float64()}
+	}
+	db, err := kspr.Open(records)
+	if err != nil {
+		panic(err)
+	}
+	sky := db.Skyline()
+	queries := make([]kspr.BatchQuery, 4)
+	for i := range queries {
+		queries[i] = kspr.BatchQuery{FocalID: sky[i]}
+	}
+	outcomes, err := db.KSPRBatch(queries, 5, kspr.WithBatchOptions(kspr.WithParallelism(2)))
+	if err != nil {
+		panic(err)
+	}
+	for i, o := range outcomes {
+		if o.Err != nil {
+			panic(o.Err)
+		}
+		fmt.Printf("focal %d: %d regions\n", queries[i].FocalID, len(o.Result.Regions))
+	}
+	// Output:
+	// focal 22: 43 regions
+	// focal 24: 19 regions
+	// focal 65: 17 regions
+	// focal 68: 22 regions
+}
+
 // ExampleDB_TopK shows the plain top-k query against the same index.
 func ExampleDB_TopK() {
 	records := [][]float64{

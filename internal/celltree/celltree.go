@@ -106,6 +106,9 @@ func (s *Stats) Add(o Stats) {
 
 // Forks is the fork-token budget of a parallel tree operation: a tree with
 // a Forks of n tokens may run up to n extra goroutines beyond the caller's.
+// A single Forks may be shared by several trees — the batch engine in
+// internal/core attaches one pool to every query of a batch, so insertion
+// fan-out capacity freed by a finished query migrates to its siblings.
 // Tokens are claimed with a non-blocking TryAcquire at case-III internal
 // nodes — when none is free the subtree is processed inline, which makes
 // the schedule adaptive (work-stealing in effect: idle capacity is soaked

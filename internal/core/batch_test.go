@@ -1,0 +1,267 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// TestBatchMatchesSerial is the batch engine's correctness contract: for
+// every algorithm, across seeds, dimensionalities, shortlist sizes, batch
+// parallelism and the share/no-share paths, RunBatch returns per-item
+// results that are deeply identical — same regions in the same order, same
+// ranks, witnesses, vertices, constraints, volumes and side statistics —
+// to running each item through Run serially.
+func TestBatchMatchesSerial(t *testing.T) {
+	for _, algo := range []Algorithm{CTA, PCTA, LPCTA, KSkybandCTA} {
+		for _, d := range []int{3, 5} {
+			if d == 5 && (algo == CTA || algo == KSkybandCTA) {
+				// The non-progressive variants process every record in high
+				// dimensions; LP-CTA and P-CTA cover the d=5 paths cheaply.
+				continue
+			}
+			for _, k := range []int{4, 8} {
+				n := 200
+				if d == 5 {
+					n = 60
+				}
+				if raceEnabled {
+					n /= 2
+				}
+				seed := int64(41*int64(d) + int64(k))
+				tr, recs := buildRandom(t, n, d, seed)
+
+				// A panel of focal options: skyline records (real work),
+				// an arbitrary mid-dataset record, a hypothetical vector
+				// focal, and one item overriding the batch K.
+				sky := tr.Skyline(nil)
+				items := []BatchItem{
+					{FocalID: sky[0]},
+					{FocalID: sky[len(sky)/2]},
+					{FocalID: n / 3},
+					{FocalID: -1, Focal: recs[sky[0]].Clone()},
+					{FocalID: sky[len(sky)-1], K: k / 2},
+				}
+				base := Options{
+					K:                k,
+					Algorithm:        algo,
+					FinalizeGeometry: true,
+					ComputeVolumes:   d == 3,
+					VolumeSamples:    400,
+					Seed:             7,
+				}
+
+				// Ground truth: each item as an independent serial run.
+				want := make([]*Result, len(items))
+				for i, it := range items {
+					o := base
+					if it.K != 0 {
+						o.K = it.K
+					}
+					o.Parallelism = 1
+					focal := it.Focal
+					if focal == nil {
+						focal = recs[it.FocalID]
+					}
+					res, err := Run(tr, focal, it.FocalID, o)
+					if err != nil {
+						t.Fatalf("%v d=%d k=%d item %d serial: %v", algo, d, k, i, err)
+					}
+					want[i] = res
+				}
+
+				for _, cfg := range []struct {
+					label       string
+					parallelism int
+					noShare     bool
+				}{
+					{"shared serial", 1, false},
+					{"shared parallel", 6, false},
+					{"noshare parallel", 6, true},
+				} {
+					opts := BatchOptions{Options: base, NoShare: cfg.noShare}
+					opts.Parallelism = cfg.parallelism
+					got, err := RunBatch(tr, items, opts)
+					if err != nil {
+						t.Fatalf("%v d=%d k=%d %s: %v", algo, d, k, cfg.label, err)
+					}
+					if len(got) != len(items) {
+						t.Fatalf("%v d=%d k=%d %s: %d outcomes for %d items",
+							algo, d, k, cfg.label, len(got), len(items))
+					}
+					for i := range got {
+						if got[i].Err != nil {
+							t.Fatalf("%v d=%d k=%d %s item %d: %v", algo, d, k, cfg.label, i, got[i].Err)
+						}
+						if !reflect.DeepEqual(got[i].Result.Regions, want[i].Regions) {
+							t.Fatalf("%v d=%d k=%d %s: item %d regions differ\nserial: %+v\nbatch:  %+v",
+								algo, d, k, cfg.label, i, want[i].Regions, got[i].Result.Regions)
+						}
+						if gs, ws := statsComparable(got[i].Result.Stats), statsComparable(want[i].Stats); gs != ws {
+							t.Fatalf("%v d=%d k=%d %s: item %d stats differ\nserial: %+v\nbatch:  %+v",
+								algo, d, k, cfg.label, i, ws, gs)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestBatchSkybandDerivation pins the shared dominator-count table to the
+// R-tree traversal it replaces: the derived per-focal k-skyband must equal
+// tree.KSkyband(k, exclude focal) exactly, including order.
+func TestBatchSkybandDerivation(t *testing.T) {
+	for _, d := range []int{2, 3, 4} {
+		tr, _ := buildRandom(t, 150, d, int64(100+d))
+		for _, k := range []int{1, 3, 7} {
+			shared, err := newBatchShared(tr, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, focalID := range []int{-1, 0, 17, 149} {
+				want := tr.KSkyband(k, func(id int) bool { return id == focalID })
+				got := shared.skyband(tr, k, focalID)
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("d=%d k=%d focal=%d: derived skyband %v, traversal %v",
+						d, k, focalID, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestBatchPerItemErrors: a bad item settles with its own error and leaves
+// its siblings untouched.
+func TestBatchPerItemErrors(t *testing.T) {
+	tr, _ := buildRandom(t, 80, 3, 5)
+	items := []BatchItem{
+		{FocalID: tr.Skyline(nil)[0]},
+		{FocalID: 9999},                         // out of range
+		{FocalID: -1, Focal: geom.Vector{1, 1}}, // wrong dimensionality
+		{FocalID: tr.Skyline(nil)[0], K: 3},     // fine
+	}
+	got, err := RunBatch(tr, items, BatchOptions{Options: Options{K: 5, Algorithm: LPCTA, Parallelism: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0].Err != nil || got[0].Result == nil {
+		t.Fatalf("item 0 should succeed: %v", got[0].Err)
+	}
+	if got[1].Err == nil {
+		t.Fatal("out-of-range focal id must fail")
+	}
+	if got[2].Err == nil {
+		t.Fatal("wrong-dimensional focal vector must fail")
+	}
+	if got[3].Err != nil || got[3].Result == nil {
+		t.Fatalf("item 3 should succeed: %v", got[3].Err)
+	}
+}
+
+// TestBatchFailFast: after the first failure, unstarted items settle with
+// ErrBatchAborted instead of running.
+func TestBatchFailFast(t *testing.T) {
+	tr, _ := buildRandom(t, 60, 3, 11)
+	items := make([]BatchItem, 12)
+	for i := range items {
+		items[i] = BatchItem{FocalID: 9999} // every item invalid
+	}
+	got, err := RunBatch(tr, items, BatchOptions{
+		Options:  Options{K: 4, Algorithm: LPCTA, Parallelism: 1},
+		FailFast: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0].Err == nil {
+		t.Fatal("first item must fail")
+	}
+	aborted := 0
+	for _, o := range got[1:] {
+		if errors.Is(o.Err, ErrBatchAborted) {
+			aborted++
+		}
+	}
+	if aborted != len(items)-1 {
+		t.Fatalf("want %d aborted items after first failure (serial scheduler), got %d",
+			len(items)-1, aborted)
+	}
+}
+
+// TestBatchItemCancellation: a cancelled per-item context fails only that
+// item; the batch context cancels items that honour it.
+func TestBatchItemCancellation(t *testing.T) {
+	tr, _ := buildRandom(t, 120, 3, 23)
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	sky := tr.Skyline(nil)
+	items := []BatchItem{
+		{FocalID: sky[0]},
+		{FocalID: sky[0], Ctx: cancelled},
+	}
+	got, err := RunBatch(tr, items, BatchOptions{Options: Options{K: 5, Algorithm: LPCTA, Parallelism: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0].Err != nil {
+		t.Fatalf("uncancelled item failed: %v", got[0].Err)
+	}
+	if !errors.Is(got[1].Err, context.Canceled) {
+		t.Fatalf("cancelled item returned %v, want context.Canceled", got[1].Err)
+	}
+}
+
+// TestBatchOnOutcome: every item fires the callback exactly once, with the
+// same outcome that lands in the returned slice.
+func TestBatchOnOutcome(t *testing.T) {
+	tr, _ := buildRandom(t, 80, 3, 31)
+	sky := tr.Skyline(nil)
+	items := make([]BatchItem, 6)
+	for i := range items {
+		items[i] = BatchItem{FocalID: sky[i%len(sky)]}
+	}
+	var mu sync.Mutex
+	seen := make(map[int]int)
+	opts := BatchOptions{
+		Options: Options{K: 4, Algorithm: PCTA, Parallelism: 3},
+		OnOutcome: func(i int, o BatchOutcome) {
+			mu.Lock()
+			seen[i]++
+			mu.Unlock()
+		},
+	}
+	got, err := RunBatch(tr, items, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != len(items) {
+		t.Fatalf("callback fired for %d items, want %d", len(seen), len(items))
+	}
+	for i, c := range seen {
+		if c != 1 {
+			t.Fatalf("item %d fired %d times", i, c)
+		}
+	}
+	for i := range got {
+		if got[i].Err != nil {
+			t.Fatalf("item %d: %v", i, got[i].Err)
+		}
+	}
+}
+
+// TestBatchValidation covers the batch-level error paths.
+func TestBatchValidation(t *testing.T) {
+	tr, _ := buildRandom(t, 30, 3, 3)
+	if got, err := RunBatch(tr, nil, BatchOptions{Options: Options{K: 3}}); err != nil || got != nil {
+		t.Fatalf("empty batch: got %v, %v; want nil, nil", got, err)
+	}
+	items := []BatchItem{{FocalID: 0}}
+	if _, err := RunBatch(tr, items, BatchOptions{}); err == nil {
+		t.Fatal("batch without any positive K must error")
+	}
+}

@@ -27,11 +27,10 @@ import (
 // work being spread.
 const parallelLeafThreshold = 16
 
-// workers resolves Options.Parallelism: <= 0 means one worker per available
-// CPU, anything else is taken literally (1 = the paper's serial
-// algorithms).
-func (r *runner) workers() int {
-	p := r.opts.Parallelism
+// resolveParallelism maps an Options.Parallelism setting to an effective
+// worker count: <= 0 means one worker per available CPU, anything else is
+// taken literally (1 = the paper's serial algorithms).
+func resolveParallelism(p int) int {
 	if p <= 0 {
 		p = runtime.GOMAXPROCS(0)
 	}
@@ -40,6 +39,9 @@ func (r *runner) workers() int {
 	}
 	return p
 }
+
+// workers resolves the runner's Options.Parallelism.
+func (r *runner) workers() int { return resolveParallelism(r.opts.Parallelism) }
 
 // parallelDo runs body(worker, i) for every i in [0, n) across up to
 // workers goroutines. Items are claimed from a shared atomic cursor, so a

@@ -17,6 +17,15 @@ import (
 // focalID is the index of the focal record inside the dataset, or -1 when
 // the focal record is not part of it.
 func Run(tree *rtree.Tree, focal geom.Vector, focalID int, opts Options) (*Result, error) {
+	return runQuery(tree, focal, focalID, opts, nil, nil, nil)
+}
+
+// runQuery runs one kSPR query, optionally wired into a batch: shared is
+// the batch's read-only precomputation, arena a reusable LP solver owned
+// by the calling scheduler slot, and forks the batch-wide insertion token
+// pool (all nil for a standalone Run).
+func runQuery(tree *rtree.Tree, focal geom.Vector, focalID int, opts Options,
+	shared *batchShared, arena *lp.Solver, forks *celltree.Forks) (*Result, error) {
 	if opts.K <= 0 {
 		return nil, fmt.Errorf("core: K must be positive, got %d", opts.K)
 	}
@@ -30,7 +39,12 @@ func Run(tree *rtree.Tree, focal geom.Vector, focalID int, opts Options) (*Resul
 		opts.VolumeSamples = 10000
 	}
 	start := time.Now()
-	r := &runner{tree: tree, focal: focal, focalID: focalID, opts: opts}
+	r := &runner{tree: tree, focal: focal, focalID: focalID, opts: opts,
+		shared: shared, batchForks: forks, inBatch: shared != nil || arena != nil || forks != nil}
+	if arena != nil {
+		arena.SetStats(&r.lpStats)
+		r.solver = arena
+	}
 	res, err := r.run()
 	if err != nil {
 		return nil, err
@@ -88,6 +102,14 @@ type runner struct {
 	// score bounds machinery (per-space objective for S(p))
 	pObj   geom.Vector
 	pConst float64
+
+	// batch wiring (nil/false for a standalone Run): shared is the batch's
+	// read-only precomputation, batchForks the batch-wide insertion token
+	// pool, and inBatch suppresses the per-query fork budget (the batch
+	// scheduler owns goroutine accounting).
+	shared     *batchShared
+	batchForks *celltree.Forks
+	inBatch    bool
 
 	result *Result
 }
@@ -178,10 +200,18 @@ func (r *runner) run() (*Result, error) {
 	default:
 		return nil, fmt.Errorf("core: unknown space %d", r.opts.Space)
 	}
-	if w := r.workers(); w > 1 {
-		// Attach the engine's fork budget: insertions may then fan disjoint
-		// cell subtrees across w goroutines in total.
-		r.ct.Forks = celltree.NewForks(w - 1)
+	switch {
+	case r.inBatch:
+		// The batch scheduler owns goroutine accounting: insertions draw
+		// from the batch-wide token pool (possibly nil), shared with every
+		// sibling query.
+		r.ct.Forks = r.batchForks
+	default:
+		if w := r.workers(); w > 1 {
+			// Attach the engine's fork budget: insertions may then fan
+			// disjoint cell subtrees across w goroutines in total.
+			r.ct.Forks = celltree.NewForks(w - 1)
+		}
 	}
 
 	var err error
@@ -296,10 +326,21 @@ func (r *runner) allCandidateIDs() []int {
 	return ids
 }
 
+// kSkybandCandidates returns the K-skyband of the dataset with the focal
+// record excluded, in ascending id order. Standalone queries traverse the
+// R-tree; batch queries derive the identical list from the shared
+// dominator-count table in O(band).
+func (r *runner) kSkybandCandidates() []int {
+	if r.shared != nil {
+		return r.shared.skyband(r.tree, r.opts.K, r.focalID)
+	}
+	return r.tree.KSkyband(r.opts.K, func(id int) bool { return id == r.focalID })
+}
+
 // kSkybandIDs returns the K-skyband of the dataset minus skipped records
 // (Appendix B: by Lemma 6 only these can matter).
 func (r *runner) kSkybandIDs() []int {
-	band := r.tree.KSkyband(r.opts.K, func(id int) bool { return id == r.focalID })
+	band := r.kSkybandCandidates()
 	ids := band[:0]
 	for _, id := range band {
 		if !r.skip[id] {
@@ -307,6 +348,72 @@ func (r *runner) kSkybandIDs() []int {
 		}
 	}
 	return ids
+}
+
+// candIndex is the candidate record index the progressive algorithms run
+// their pivot reportability checks against: an aggregate R-tree whose
+// record id ci maps to dataset id orig[ci]. member, when non-nil, narrows
+// the index to this query's candidates (the batch path shares one tree
+// across queries with different candidate sets); a nil candIndex means no
+// candidates at all.
+type candIndex struct {
+	tree   *rtree.Tree
+	orig   []int
+	member []bool
+}
+
+// anyUnprocessedEscapes reports whether some still-unprocessed candidate
+// escapes the pivots' dominance regions (the Lemma 5 reportability test).
+func (ci *candIndex) anyUnprocessedEscapes(pivots []geom.Vector, processed map[int]bool) bool {
+	if ci == nil {
+		return false
+	}
+	return ci.tree.AnyNotDominated(pivots, func(i int) bool {
+		if ci.member != nil && !ci.member[i] {
+			return true
+		}
+		return processed[ci.orig[i]]
+	})
+}
+
+// buildCandIndex assembles the candidate index for this query: only
+// K-skyband records can matter (Lemma 6's argument extends to the
+// reportability test: a non-skyband escapee implies either a skyband
+// escapee or enough accounted dominators to disqualify the cell). Batch
+// queries reuse the shared band tree with a membership mask; standalone
+// queries build a dedicated tree over just their candidates.
+func (r *runner) buildCandIndex() (*candIndex, error) {
+	if r.shared != nil {
+		member := make([]bool, len(r.shared.band))
+		any := false
+		for i, id := range r.shared.band {
+			if r.shared.inSkyband(i, r.opts.K, r.focalID, r.tree) && !r.skip[id] {
+				member[i] = true
+				any = true
+			}
+		}
+		if !any {
+			return nil, nil
+		}
+		return &candIndex{tree: r.shared.candTree, orig: r.shared.band, member: member}, nil
+	}
+	candIDs := r.kSkybandCandidates()
+	candRecs := make([]geom.Vector, 0, len(candIDs))
+	candOrig := make([]int, 0, len(candIDs))
+	for _, id := range candIDs {
+		if !r.skip[id] {
+			candRecs = append(candRecs, r.tree.Records[id])
+			candOrig = append(candOrig, id)
+		}
+	}
+	if len(candRecs) == 0 {
+		return nil, nil
+	}
+	tree, err := rtree.Build(candRecs)
+	if err != nil {
+		return nil, err
+	}
+	return &candIndex{tree: tree, orig: candOrig}, nil
 }
 
 // runCTA inserts the given records' hyperplanes one by one (§4).
@@ -340,31 +447,23 @@ func (r *runner) runProgressive() error {
 	processed := make(map[int]bool)
 	excludeBase := func(id int) bool { return r.skip[id] }
 
-	// Candidate index for the pivot checks: only K-skyband records can ever
-	// affect a promising cell (Lemma 6's argument extends to the
-	// reportability test: a non-skyband escapee implies either a skyband
-	// escapee or enough accounted dominators to disqualify the cell), so
-	// the AnyNotDominated traversals run over this much smaller tree.
-	candIDs := r.tree.KSkyband(r.opts.K, func(id int) bool { return id == r.focalID })
-	candRecs := make([]geom.Vector, 0, len(candIDs))
-	candOrig := make([]int, 0, len(candIDs))
-	for _, id := range candIDs {
-		if !r.skip[id] {
-			candRecs = append(candRecs, r.tree.Records[id])
-			candOrig = append(candOrig, id)
-		}
-	}
-	var candTree *rtree.Tree
-	if len(candRecs) > 0 {
-		var err error
-		candTree, err = rtree.Build(candRecs)
-		if err != nil {
-			return err
-		}
+	// Candidate index for the pivot checks (shared across the batch when
+	// this query runs as part of one).
+	cand, err := r.buildCandIndex()
+	if err != nil {
+		return err
 	}
 
-	// First batch: the skyline of the competing records (Invariant 1).
-	batch := r.tree.Skyline(excludeBase)
+	// First batch: the skyline of the competing records (Invariant 1) —
+	// derived from the shared dominance table when batched (exact here:
+	// every member of Skyline(D \ skip) is in the shared band once the
+	// query survives the kAdj > 0 check, see batchShared.firstBatch).
+	var batch []int
+	if r.shared != nil {
+		batch = r.shared.firstBatch(r.skip)
+	} else {
+		batch = r.tree.Skyline(excludeBase)
+	}
 
 	lookahead := r.opts.Algorithm == LPCTA
 	r.ct.TakeFreshLeaves() // the root cell's bounds are trivially [1, n]
@@ -416,7 +515,6 @@ func (r *runner) runProgressive() error {
 
 		// Pivot-based reporting and the union of non-pivots (Algorithm 2
 		// lines 13-19).
-		candUnprocessed := func(ci int) bool { return processed[candOrig[ci]] }
 		np := make(map[int]bool)
 		var reportErr error
 		var toReport, toPrune []*celltree.Node
@@ -438,7 +536,7 @@ func (r *runner) runProgressive() error {
 				for i, id := range pivotIDs {
 					pivots[i] = r.tree.Records[id]
 				}
-				affected = candTree != nil && candTree.AnyNotDominated(pivots, candUnprocessed)
+				affected = cand.anyUnprocessedEscapes(pivots, processed)
 				checkCache[key] = affected
 			}
 			if affected {

@@ -1,6 +1,15 @@
 package server
 
-import "sync/atomic"
+import (
+	"errors"
+	"sync/atomic"
+)
+
+// ErrCPUBudgetExhausted is returned by AcquireRequired when a request asks
+// for engine parallelism while every extra CPU slot is claimed. Handlers
+// map it to 429 Too Many Requests so heavy callers back off instead of
+// silently degrading (or blocking) a large batch to a single core.
+var ErrCPUBudgetExhausted = errors.New("server: cpu budget exhausted, retry later")
 
 // CPUBudget is the shared, lock-free budget of extra CPU slots available
 // to parallel queries. Every running query implicitly owns one slot (the
@@ -43,6 +52,22 @@ func (b *CPUBudget) Acquire(n int) int {
 			return int(take)
 		}
 	}
+}
+
+// AcquireRequired claims up to n extra slots like Acquire, but fails with
+// ErrCPUBudgetExhausted instead of granting zero when the budget HAS slots
+// and they are all in use. A zero-slot budget (serial-only server) still
+// grants 0 without error — waiting would never help there, so callers
+// degrade to their one implicit worker slot. Never blocks.
+func (b *CPUBudget) AcquireRequired(n int) (int, error) {
+	if n <= 0 || b.slots == 0 {
+		return 0, nil
+	}
+	granted := b.Acquire(n)
+	if granted == 0 {
+		return 0, ErrCPUBudgetExhausted
+	}
+	return granted, nil
 }
 
 // Release returns n slots claimed by Acquire.

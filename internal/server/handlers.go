@@ -1,6 +1,8 @@
 package server
 
 import (
+	"bufio"
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -9,6 +11,7 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	kspr "repro"
@@ -102,21 +105,39 @@ type queryResponse struct {
 
 type batchQuery struct {
 	Focal int `json:"focal"`
-	K     int `json:"k"`
+	// FocalVector queries a hypothetical record; when set, Focal is
+	// ignored.
+	FocalVector []float64 `json:"focal_vector,omitempty"`
+	// K overrides the envelope's default shortlist size for this item.
+	K int `json:"k"`
 }
 
+// batchRequest is the envelope of a batch call: the whole JSON body in the
+// legacy application/json form (with inline Queries), or the first line of
+// an application/x-ndjson body (items then follow one per line).
 type batchRequest struct {
-	Dataset   string       `json:"dataset"`
-	Queries   []batchQuery `json:"queries"`
-	Algorithm string       `json:"algorithm,omitempty"`
-	Space     string       `json:"space,omitempty"`
-	Bounds    string       `json:"bounds,omitempty"`
-	Epsilon   float64      `json:"epsilon,omitempty"`
-	Volumes   bool         `json:"volumes,omitempty"`
-	Seed      int64        `json:"seed,omitempty"`
-	TimeoutMs int          `json:"timeout_ms,omitempty"`
-	NoCache   bool         `json:"no_cache,omitempty"`
-	// Parallelism applies to each query of the batch; see queryRequest.
+	Dataset string       `json:"dataset"`
+	Queries []batchQuery `json:"queries,omitempty"`
+	// K is the default shortlist size for items that do not set their own.
+	K          int     `json:"k,omitempty"`
+	Algorithm  string  `json:"algorithm,omitempty"`
+	Space      string  `json:"space,omitempty"`
+	Bounds     string  `json:"bounds,omitempty"`
+	Epsilon    float64 `json:"epsilon,omitempty"`
+	Volumes    bool    `json:"volumes,omitempty"`
+	NoGeometry bool    `json:"no_geometry,omitempty"`
+	Seed       int64   `json:"seed,omitempty"`
+	TimeoutMs  int     `json:"timeout_ms,omitempty"`
+	// ItemTimeoutMs bounds each item's processing time individually
+	// (measured from when the item starts running, not from request
+	// arrival), so one pathological item 504s on its own line instead of
+	// consuming the batch deadline.
+	ItemTimeoutMs int  `json:"item_timeout_ms,omitempty"`
+	NoCache       bool `json:"no_cache,omitempty"`
+	// Parallelism is the engine parallelism for the WHOLE batch: the batch
+	// runs as one shared-work pass on 1 + granted extra CPU slots. When the
+	// budget has slots but all are claimed, the request fails with 429
+	// rather than degrading N queries to one core.
 	Parallelism int `json:"parallelism,omitempty"`
 }
 
@@ -553,12 +574,123 @@ func (s *Server) handleKSPR(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// handleBatch fans the batch's queries across the worker pool and streams
-// one NDJSON line per finished query, in completion order (each line
-// carries its input index). The whole batch shares one deadline.
-func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+// batchEmitter serializes the batch stream: every item settles exactly
+// once (parse error, cache hit, engine outcome, or abort), lines land on a
+// buffered channel the handler drains, and finish backfills error lines
+// for anything unsettled when the batch stops early. The channel buffer
+// holds one line per item, so settles never block.
+type batchEmitter struct {
+	mu      sync.Mutex
+	closed  bool
+	settled []bool
+	lines   chan batchLine
+}
+
+func newBatchEmitter(n int) *batchEmitter {
+	return &batchEmitter{settled: make([]bool, n), lines: make(chan batchLine, n)}
+}
+
+// settle emits the line for item i unless it already settled or the stream
+// is finished.
+func (e *batchEmitter) settle(i int, line batchLine) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed || e.settled[i] {
+		return
+	}
+	e.settled[i] = true
+	e.lines <- line
+}
+
+// finish settles every remaining item with err (or a generic abort) and
+// closes the stream.
+func (e *batchEmitter) finish(err error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return
+	}
+	msg, status := "batch aborted", http.StatusServiceUnavailable
+	if err != nil {
+		msg, status = err.Error(), errStatusCode(err)
+	}
+	for i, done := range e.settled {
+		if !done {
+			e.settled[i] = true
+			e.lines <- batchLine{Index: i, Error: msg, Status: status}
+		}
+	}
+	e.closed = true
+	close(e.lines)
+}
+
+// decodeBatchRequest reads a batch call in either wire form: a plain JSON
+// envelope with inline queries, or (Content-Type application/x-ndjson) an
+// envelope line followed by one item per line. A malformed NDJSON item
+// line becomes a per-item parse error at its index — the surrounding batch
+// still runs — while envelope-level problems reject the whole request.
+func (s *Server) decodeBatchRequest(w http.ResponseWriter, r *http.Request) (batchRequest, []batchQuery, map[int]string, bool) {
 	var req batchRequest
-	if !decodeBody(w, r, &req) {
+	if !strings.Contains(r.Header.Get("Content-Type"), "ndjson") {
+		if !decodeBody(w, r, &req) {
+			return req, nil, nil, false
+		}
+		return req, req.Queries, nil, true
+	}
+	sc := bufio.NewScanner(http.MaxBytesReader(w, r.Body, 16<<20))
+	sc.Buffer(make([]byte, 0, 64<<10), 16<<20)
+	var items []batchQuery
+	parseErrs := make(map[int]string)
+	header := false
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		dec := json.NewDecoder(bytes.NewReader(line))
+		dec.DisallowUnknownFields()
+		if !header {
+			header = true
+			if err := dec.Decode(&req); err != nil {
+				writeError(w, http.StatusBadRequest, "invalid batch header line: %v", err)
+				return req, nil, nil, false
+			}
+			if len(req.Queries) > 0 {
+				writeError(w, http.StatusBadRequest,
+					"ndjson batch: send items as body lines, not in the header's queries field")
+				return req, nil, nil, false
+			}
+			continue
+		}
+		var q batchQuery
+		if err := dec.Decode(&q); err != nil {
+			parseErrs[len(items)] = fmt.Sprintf("invalid batch item: %v", err)
+			items = append(items, batchQuery{})
+			continue
+		}
+		items = append(items, q)
+	}
+	if err := sc.Err(); err != nil {
+		writeError(w, http.StatusBadRequest, "reading ndjson body: %v", err)
+		return req, nil, nil, false
+	}
+	if !header {
+		writeError(w, http.StatusBadRequest, "empty ndjson body: want a header line, then one item per line")
+		return req, nil, nil, false
+	}
+	return req, items, parseErrs, true
+}
+
+// handleBatch answers a panel of kSPR queries as ONE shared-work engine
+// pass (kspr.DB.KSPRBatch) on a single pool worker plus whatever extra CPU
+// slots the shared budget grants, and streams one NDJSON line per item.
+// Ordering: already-decided items (parse errors, invalid k, cache hits)
+// stream first in item order; computed items follow in completion order;
+// every line carries its input index. Per-item failures are lines, not
+// HTTP errors; the HTTP status covers only the envelope (400/404/429).
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	req, items, parseErrs, ok := s.decodeBatchRequest(w, r)
+	if !ok {
 		return
 	}
 	snap, ok := s.registry.Get(req.Dataset)
@@ -566,48 +698,152 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "dataset %q not found", req.Dataset)
 		return
 	}
-	if len(req.Queries) == 0 {
+	if len(items) == 0 {
 		writeError(w, http.StatusBadRequest, "batch has no queries")
 		return
 	}
-	if len(req.Queries) > s.cfg.MaxBatch {
-		writeError(w, http.StatusBadRequest, "batch of %d exceeds limit %d", len(req.Queries), s.cfg.MaxBatch)
+	if len(items) > s.cfg.MaxBatch {
+		writeError(w, http.StatusBadRequest, "batch of %d exceeds limit %d", len(items), s.cfg.MaxBatch)
+		return
+	}
+	algo, approx, err := parseAlgorithm(req.Algorithm)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	space, err := parseSpace(req.Space)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	bounds, err := parseBounds(req.Bounds)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if approx && space == kspr.Original {
+		writeError(w, http.StatusBadRequest, "approx queries support only the transformed space")
 		return
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), s.timeout(req.TimeoutMs))
 	defer cancel()
 
-	lines := make(chan batchLine, len(req.Queries))
-	for i, q := range req.Queries {
-		go func(i int, q batchQuery) {
-			resp, _, err := s.runKSPR(ctx, snap, queryRequest{
-				Dataset:     req.Dataset,
-				Focal:       q.Focal,
-				K:           q.K,
-				Algorithm:   req.Algorithm,
-				Space:       req.Space,
-				Bounds:      req.Bounds,
-				Epsilon:     req.Epsilon,
-				Volumes:     req.Volumes,
-				Seed:        req.Seed,
-				NoCache:     req.NoCache,
-				Parallelism: req.Parallelism,
-			})
-			if err != nil {
-				lines <- batchLine{Index: i, Error: err.Error(), Status: errStatusCode(err)}
-				return
+	emitter := newBatchEmitter(len(items))
+
+	// Settle what needs no engine work: malformed items, invalid k, cache
+	// hits. queries collects the rest, idx mapping engine order back to
+	// item order.
+	var queries []kspr.BatchQuery
+	var idx []int
+	var keys []string
+	for i, q := range items {
+		if msg, bad := parseErrs[i]; bad {
+			emitter.settle(i, batchLine{Index: i, Error: msg, Status: http.StatusBadRequest})
+			continue
+		}
+		k := q.K
+		if k == 0 {
+			k = req.K
+		}
+		if k < 1 {
+			emitter.settle(i, batchLine{Index: i,
+				Error: fmt.Sprintf("k must be >= 1, got %d", k), Status: http.StatusBadRequest})
+			continue
+		}
+		qr := s.batchItemRequest(req, q, k)
+		key := cacheKey(snap, qr, algo, approx, space, bounds, 0.01)
+		if !req.NoCache && !approx {
+			if v, cached := s.cache.Get(key); cached {
+				cq := v.(*cachedQuery)
+				resp := *cq.resp
+				resp.Cached = true
+				emitter.settle(i, batchLine{Index: i, Result: &resp})
+				continue
 			}
-			lines <- batchLine{Index: i, Result: resp}
-		}(i, q)
+		}
+		bq := kspr.BatchQuery{FocalID: q.Focal, K: k}
+		if q.FocalVector != nil {
+			bq.FocalID, bq.Focal = -1, q.FocalVector
+		}
+		queries = append(queries, bq)
+		idx = append(idx, i)
+		keys = append(keys, key)
+	}
+
+	// Grant engine parallelism for the whole batch from the shared CPU
+	// budget. An exhausted budget is load: shed it visibly with 429 before
+	// any stream output, rather than silently running N queries serially.
+	// The approx path never uses engine parallelism, so it acquires
+	// nothing.
+	parallelism := 1
+	ask := req.Parallelism
+	if ask > s.cfg.MaxParallelism {
+		ask = s.cfg.MaxParallelism
+	}
+	var granted int
+	if len(queries) > 0 && ask > 1 && !approx {
+		granted, err = s.cpu.AcquireRequired(ask - 1)
+		if err != nil {
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusTooManyRequests, "%v", err)
+			return
+		}
+		parallelism = 1 + granted
 	}
 
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
+
+	if len(queries) == 0 {
+		emitter.finish(nil)
+	} else if approx {
+		go s.runBatchApprox(ctx, snap, req, queries, idx, emitter)
+	} else {
+		go func() {
+			defer s.cpu.Release(granted)
+			_, err := s.pool.Submit(ctx, func(ctx context.Context) (any, error) {
+				qopts := []kspr.QueryOption{
+					kspr.WithContext(ctx),
+					kspr.WithAlgorithm(algo),
+					kspr.WithSpace(space),
+					kspr.WithBoundsMode(bounds),
+					kspr.WithSeed(req.Seed),
+					kspr.WithParallelism(parallelism),
+				}
+				if req.Volumes {
+					qopts = append(qopts, kspr.WithVolumes(0))
+				}
+				if req.NoGeometry {
+					qopts = append(qopts, kspr.WithoutGeometry())
+				}
+				bopts := []kspr.BatchOption{
+					kspr.WithBatchOptions(qopts...),
+					kspr.WithBatchOnOutcome(func(j int, o kspr.BatchOutcome) {
+						i := idx[j]
+						if o.Err != nil {
+							emitter.settle(i, batchLine{Index: i, Error: o.Err.Error(), Status: errStatusCode(o.Err)})
+							return
+						}
+						resp := s.batchItemResponse(snap, items[i], queries[j], algo, space, o.Result)
+						if !req.NoCache {
+							s.cache.Put(keys[j], &cachedQuery{resp: resp, raw: o.Result})
+						}
+						emitter.settle(i, batchLine{Index: i, Result: resp})
+					}),
+				}
+				if req.ItemTimeoutMs > 0 {
+					bopts = append(bopts, kspr.WithBatchItemTimeout(time.Duration(req.ItemTimeoutMs)*time.Millisecond))
+				}
+				return snap.DB.KSPRBatch(queries, 0, bopts...)
+			})
+			emitter.finish(err)
+		}()
+	}
+
 	flusher, _ := w.(http.Flusher)
 	enc := json.NewEncoder(w)
-	failed := 0
-	for range req.Queries {
-		line := <-lines
+	var failed uint64
+	for line := range emitter.lines {
 		if line.Error != "" {
 			failed++
 		}
@@ -618,7 +854,82 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	// The stream itself is always 200, so surface per-query failures to
 	// the error counters explicitly — operators alert on errors_total.
-	s.metrics.AddErrors(uint64(failed))
+	s.metrics.AddErrors(failed)
+}
+
+// batchItemRequest maps one batch item to the equivalent single-query
+// request, the canonical input of the result-cache key (so batch and
+// single-query traffic share cache entries).
+func (s *Server) batchItemRequest(req batchRequest, q batchQuery, k int) queryRequest {
+	return queryRequest{
+		Dataset:     req.Dataset,
+		Focal:       q.Focal,
+		FocalVector: q.FocalVector,
+		K:           k,
+		Algorithm:   req.Algorithm,
+		Space:       req.Space,
+		Bounds:      req.Bounds,
+		Volumes:     req.Volumes,
+		NoGeometry:  req.NoGeometry,
+		Seed:        req.Seed,
+	}
+}
+
+// batchItemResponse renders one engine outcome in the single-query wire
+// shape.
+func (s *Server) batchItemResponse(snap *Snapshot, item batchQuery, bq kspr.BatchQuery,
+	algo kspr.Algorithm, space kspr.Space, res *kspr.Result) *queryResponse {
+	resp := &queryResponse{
+		Dataset:    snap.Name,
+		Generation: snap.Generation,
+		Focal:      item.Focal,
+		K:          bq.K,
+		Algorithm:  algo.String(),
+		Space:      space.String(),
+	}
+	if item.FocalVector != nil {
+		resp.Focal = -1
+	}
+	fillResult(resp, res)
+	return resp
+}
+
+// runBatchApprox serves an approx-algorithm batch: the approximate engine
+// has no shared-work pass, so items fan out as individual pool tasks (the
+// pre-batch behaviour) and settle on the shared emitter.
+func (s *Server) runBatchApprox(ctx context.Context, snap *Snapshot, req batchRequest,
+	queries []kspr.BatchQuery, idx []int, emitter *batchEmitter) {
+	var wg sync.WaitGroup
+	for j := range queries {
+		wg.Add(1)
+		go func(j int) {
+			defer wg.Done()
+			q := queries[j]
+			i := idx[j]
+			qr := queryRequest{
+				Dataset:     req.Dataset,
+				Focal:       q.FocalID,
+				FocalVector: q.Focal,
+				K:           q.K,
+				Algorithm:   req.Algorithm,
+				Space:       req.Space,
+				Bounds:      req.Bounds,
+				Epsilon:     req.Epsilon,
+				Volumes:     req.Volumes,
+				NoGeometry:  req.NoGeometry,
+				Seed:        req.Seed,
+				NoCache:     req.NoCache,
+			}
+			resp, _, err := s.runKSPR(ctx, snap, qr)
+			if err != nil {
+				emitter.settle(i, batchLine{Index: i, Error: err.Error(), Status: errStatusCode(err)})
+				return
+			}
+			emitter.settle(i, batchLine{Index: i, Result: resp})
+		}(j)
+	}
+	wg.Wait()
+	emitter.finish(nil)
 }
 
 // ---- top-k / skyline / impact -------------------------------------------

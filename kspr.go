@@ -32,6 +32,7 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/geom"
@@ -233,6 +234,93 @@ func (db *DB) query(focal geom.Vector, focalID, k int, opts []QueryOption) (*Res
 		f(&o)
 	}
 	return core.Run(db.tree, focal, focalID, o)
+}
+
+// BatchQuery is one focal option of a KSPRBatch call. FocalID names a
+// dataset record; set it to -1 and fill Focal to query a hypothetical
+// record instead. K overrides the batch-wide shortlist size when positive.
+// Ctx, when non-nil, cancels just this item.
+type BatchQuery struct {
+	FocalID int
+	Focal   []float64
+	K       int
+	Ctx     context.Context
+}
+
+// BatchOutcome is the per-item answer of KSPRBatch: exactly one of Result
+// and Err is set. See core.BatchOutcome.
+type BatchOutcome = core.BatchOutcome
+
+// BatchOption configures a KSPRBatch call beyond the per-query options.
+type BatchOption func(*core.BatchOptions)
+
+// WithBatchOptions applies regular query options (algorithm, space,
+// volumes, context, parallelism, ...) to every item of the batch.
+func WithBatchOptions(opts ...QueryOption) BatchOption {
+	return func(b *core.BatchOptions) {
+		for _, o := range opts {
+			o(&b.Options)
+		}
+	}
+}
+
+// WithBatchFailFast aborts items not yet started once any item errors;
+// they settle with core.ErrBatchAborted.
+func WithBatchFailFast() BatchOption {
+	return func(b *core.BatchOptions) { b.FailFast = true }
+}
+
+// WithBatchOnOutcome streams each item's outcome as soon as it settles
+// (completion order, calls serialized) — the batch analogue of
+// WithProgressive, used by serving paths to emit results before the whole
+// batch finishes.
+func WithBatchOnOutcome(fn func(i int, o BatchOutcome)) BatchOption {
+	return func(b *core.BatchOptions) { b.OnOutcome = fn }
+}
+
+// WithBatchItemTimeout bounds each item's processing time individually:
+// the item's context is derived with this timeout when the item starts
+// running, so one pathological item times out on its own instead of
+// consuming the whole batch's deadline.
+func WithBatchItemTimeout(d time.Duration) BatchOption {
+	return func(b *core.BatchOptions) { b.ItemTimeout = d }
+}
+
+// WithBatchNoShare disables the batch's shared precomputation, running
+// every item as an independent query on the batch scheduler. Results are
+// identical either way; the switch exists for cross-checking and for
+// measuring the shared-work speedup.
+func WithBatchNoShare() BatchOption {
+	return func(b *core.BatchOptions) { b.NoShare = true }
+}
+
+// KSPRBatch answers kSPR for a panel of focal options over the dataset in
+// a single shared-work pass: the k-skyband dominance precomputation, the
+// candidate index behind the progressive algorithms' reportability checks,
+// the insertion fork-token pool and the per-worker LP solver arenas are
+// built once and shared by every item, and the items are scheduled across
+// the engine's parallelism budget (WithBatchOptions(WithParallelism(n))).
+// Each item's Result is byte-identical to the corresponding KSPR /
+// KSPRVector call; per-item failures land in the item's BatchOutcome, so
+// one bad item cannot sink its siblings. The returned slice is indexed
+// like queries and independent of scheduling order.
+func (db *DB) KSPRBatch(queries []BatchQuery, k int, opts ...BatchOption) ([]BatchOutcome, error) {
+	b := core.BatchOptions{Options: core.Options{
+		K:                k,
+		Algorithm:        LPCTA,
+		FinalizeGeometry: true,
+	}}
+	for _, o := range opts {
+		o(&b)
+	}
+	items := make([]core.BatchItem, len(queries))
+	for i, q := range queries {
+		items[i] = core.BatchItem{FocalID: q.FocalID, K: q.K, Ctx: q.Ctx}
+		if q.FocalID < 0 {
+			items[i].Focal = geom.Vector(q.Focal)
+		}
+	}
+	return core.RunBatch(db.tree, items, b)
 }
 
 // ApproxResult is the outcome of the approximate kSPR query; see

@@ -125,6 +125,63 @@ func TestQueryOptionsAreHonoured(t *testing.T) {
 	}
 }
 
+func TestKSPRBatchMatchesSingleQueries(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	db, err := Open(randRecords(rng, 150, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sky := db.Skyline()
+	queries := []BatchQuery{
+		{FocalID: sky[0]},
+		{FocalID: sky[len(sky)-1], K: 3},
+		{FocalID: -1, Focal: []float64{0.9, 0.9, 0.9}},
+		{FocalID: 10},
+	}
+	outs, err := db.KSPRBatch(queries, 6,
+		WithBatchOptions(WithAlgorithm(PCTA), WithParallelism(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, q := range queries {
+		if outs[i].Err != nil {
+			t.Fatalf("item %d: %v", i, outs[i].Err)
+		}
+		k := q.K
+		if k == 0 {
+			k = 6
+		}
+		var want *Result
+		if q.FocalID < 0 {
+			want, err = db.KSPRVector(q.Focal, k, WithAlgorithm(PCTA), WithParallelism(1))
+		} else {
+			want, err = db.KSPR(q.FocalID, k, WithAlgorithm(PCTA), WithParallelism(1))
+		}
+		if err != nil {
+			t.Fatalf("item %d single query: %v", i, err)
+		}
+		got := outs[i].Result
+		if len(got.Regions) != len(want.Regions) {
+			t.Fatalf("item %d: batch %d regions, single %d", i, len(got.Regions), len(want.Regions))
+		}
+		for j := range got.Regions {
+			if got.Regions[j].Rank != want.Regions[j].Rank ||
+				!got.Regions[j].Witness.Equal(want.Regions[j].Witness) {
+				t.Fatalf("item %d region %d differs", i, j)
+			}
+		}
+	}
+
+	// Per-item failures stay per-item.
+	outs, err = db.KSPRBatch([]BatchQuery{{FocalID: 0}, {FocalID: 10000}}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outs[0].Err != nil || outs[1].Err == nil {
+		t.Fatalf("want [ok, err], got [%v, %v]", outs[0].Err, outs[1].Err)
+	}
+}
+
 func TestTopKAndRankConsistency(t *testing.T) {
 	rng := rand.New(rand.NewSource(4))
 	db, err := Open(randRecords(rng, 120, 4))

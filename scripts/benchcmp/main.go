@@ -1,0 +1,109 @@
+// Command benchcmp is the bench regression gate's comparator: it reads two
+// BENCH_<name>.json files (see cmd/ksprbench -json), checks that they
+// measured the same workload, and fails when any algorithm's fresh ns/op
+// exceeds the baseline by more than -max-regress.
+//
+//	go run ./scripts/benchcmp -baseline BENCH_core.json -fresh BENCH_ci.json
+//
+// -inject multiplies the fresh numbers before comparing; the CI bench job
+// uses it to prove the gate actually fails on a slowdown (-inject 2 must
+// exit non-zero against a healthy baseline).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// benchFile is the subset of the BENCH_<name>.json schema the gate reads.
+type benchFile struct {
+	Name       string           `json:"name"`
+	Dist       string           `json:"dist"`
+	N          int              `json:"n"`
+	D          int              `json:"d"`
+	K          int              `json:"k"`
+	Seed       int64            `json:"seed"`
+	CPUs       int              `json:"cpus"`
+	Algorithms map[string]int64 `json:"ns_per_op"`
+}
+
+func load(path string) (benchFile, error) {
+	var b benchFile
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return b, err
+	}
+	if err := json.Unmarshal(raw, &b); err != nil {
+		return b, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(b.Algorithms) == 0 {
+		return b, fmt.Errorf("%s: no ns_per_op entries", path)
+	}
+	return b, nil
+}
+
+func main() {
+	var (
+		baselinePath = flag.String("baseline", "BENCH_core.json", "committed baseline summary")
+		freshPath    = flag.String("fresh", "BENCH_ci.json", "freshly measured summary")
+		maxRegress   = flag.Float64("max-regress", 0.30, "tolerated fractional slowdown per algorithm")
+		inject       = flag.Float64("inject", 1.0, "multiply fresh ns/op by this factor (gate self-test)")
+	)
+	flag.Parse()
+
+	baseline, err := load(*baselinePath)
+	if err != nil {
+		fatal(err)
+	}
+	fresh, err := load(*freshPath)
+	if err != nil {
+		fatal(err)
+	}
+	if baseline.Dist != fresh.Dist || baseline.N != fresh.N ||
+		baseline.D != fresh.D || baseline.K != fresh.K || baseline.Seed != fresh.Seed {
+		fatal(fmt.Errorf("workload mismatch: baseline %s n=%d d=%d k=%d seed=%d, fresh %s n=%d d=%d k=%d seed=%d",
+			baseline.Dist, baseline.N, baseline.D, baseline.K, baseline.Seed,
+			fresh.Dist, fresh.N, fresh.D, fresh.K, fresh.Seed))
+	}
+
+	names := make([]string, 0, len(baseline.Algorithms))
+	for name := range baseline.Algorithms {
+		if _, ok := fresh.Algorithms[name]; ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		fatal(fmt.Errorf("no algorithms in common between %s and %s", *baselinePath, *freshPath))
+	}
+
+	fmt.Printf("bench gate: baseline %q (%d cpus) vs fresh %q (%d cpus), tolerance +%.0f%%\n",
+		baseline.Name, baseline.CPUs, fresh.Name, fresh.CPUs, *maxRegress*100)
+	var regressed []string
+	for _, name := range names {
+		base := baseline.Algorithms[name]
+		now := int64(float64(fresh.Algorithms[name]) * *inject)
+		ratio := float64(now) / float64(base)
+		verdict := "ok"
+		if ratio > 1+*maxRegress {
+			verdict = "REGRESSED"
+			regressed = append(regressed, name)
+		}
+		fmt.Printf("  %-10s %12d -> %12d ns/op  (%.2fx)  %s\n", name, base, now, ratio, verdict)
+	}
+	if len(regressed) > 0 {
+		fmt.Fprintf(os.Stderr, "benchcmp: %d algorithm(s) regressed beyond +%.0f%%: %v\n",
+			len(regressed), *maxRegress*100, regressed)
+		fmt.Fprintln(os.Stderr, "benchcmp: if this slowdown is intended, refresh the baseline (make bench) or apply the skip-bench-gate label")
+		os.Exit(1)
+	}
+	fmt.Println("bench gate: pass")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchcmp:", err)
+	os.Exit(1)
+}

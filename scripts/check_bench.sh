@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Bench regression gate: re-measure the committed BENCH_core.json workload
+# and fail when any algorithm's serial ns/op regressed by more than 30%
+# (override with BENCH_MAX_REGRESS, e.g. BENCH_MAX_REGRESS=0.50).
+#
+# BENCH_INJECT multiplies the fresh numbers before comparing; the CI bench
+# job runs `BENCH_INJECT=2 ./scripts/check_bench.sh` and asserts failure,
+# proving the gate trips on a real 2x slowdown.
+#
+# The gate compares ns/op measured on THIS machine against a baseline
+# possibly recorded elsewhere; the 30% tolerance plus the skip-bench-gate
+# PR label are the escape hatches for genuinely different hardware.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+baseline=BENCH_core.json
+fresh=BENCH_ci.json
+if [ ! -f "$baseline" ]; then
+    echo "check_bench: committed baseline $baseline is missing" >&2
+    exit 1
+fi
+
+# Re-run the exact baseline workload (scale 0.5 -> n=1000, d=4, k=10,
+# IND, seed 1). -parallel 1 skips the parallel sweep: the gate only
+# compares the serial ns_per_op map, and this keeps the pass short.
+go run ./cmd/ksprbench -json -name ci -scale 0.5 -queries 3 -parallel 1
+
+go run ./scripts/benchcmp \
+    -baseline "$baseline" \
+    -fresh "$fresh" \
+    -max-regress "${BENCH_MAX_REGRESS:-0.30}" \
+    -inject "${BENCH_INJECT:-1}"

@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Coverage floor gate: run the full test suite with coverage and fail when
+# the total statement coverage drops below the committed floor
+# (scripts/coverage_floor.txt). Raise the floor when coverage improves;
+# never lower it to make a PR pass — add tests instead.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+floor_file=scripts/coverage_floor.txt
+if [ ! -f "$floor_file" ]; then
+    echo "check_coverage: $floor_file is missing" >&2
+    exit 1
+fi
+floor=$(tr -d '[:space:]' < "$floor_file")
+
+profile="${COVER_PROFILE:-$(mktemp /tmp/cover.XXXXXX.out)}"
+go test -coverprofile="$profile" ./... > /dev/null
+
+total=$(go tool cover -func="$profile" | awk '/^total:/ { gsub("%", "", $3); print $3 }')
+if [ -z "$total" ]; then
+    echo "check_coverage: could not read total coverage from $profile" >&2
+    exit 1
+fi
+
+echo "coverage gate: total ${total}% (floor ${floor}%)"
+awk -v total="$total" -v floor="$floor" 'BEGIN {
+    if (total + 0 < floor + 0) {
+        printf "check_coverage: total coverage %.1f%% dropped below the %.1f%% floor\n", total, floor > "/dev/stderr"
+        exit 1
+    }
+}'
+echo "coverage gate: pass"
