@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench fmt vet docs lint coverage benchgate ci clean
+.PHONY: build test race bench fmt vet docs lint coverage benchgate crashsmoke ci clean
 
 build:
 	$(GO) build ./...
@@ -13,13 +13,15 @@ race:
 
 # bench writes BENCH_core.json: ns/op per algorithm with the serial engine
 # and with a 4-worker engine, plus the speedup ratio, plus the shared-work
-# batch sweep (8 focals as one KSPRBatch pass vs 8 serial runs) — the perf
-# trajectory successive PRs diff against. -parallel and -batch are pinned
-# so the file's schema does not depend on the host's core count (the
-# recorded "cpus" field tells you how much hardware the speedups had to
-# work with; on a 1-CPU container both hover near 1.0x by physics).
+# batch sweep (8 focals as one KSPRBatch pass vs 8 serial runs), plus the
+# live-dataset sweep (WAL apply throughput and incremental-vs-cold kSPR
+# maintenance over 48 mutations) — the perf trajectory successive PRs diff
+# against. -parallel and -batch are pinned so the file's schema does not
+# depend on the host's core count (the recorded "cpus" field tells you how
+# much hardware the speedups had to work with; on a 1-CPU container both
+# hover near 1.0x by physics).
 bench:
-	$(GO) run ./cmd/ksprbench -json -name core -scale 0.5 -queries 3 -parallel 4 -batch 8
+	$(GO) run ./cmd/ksprbench -json -name core -scale 0.5 -queries 3 -parallel 4 -batch 8 -mutate 48
 
 fmt:
 	gofmt -l .
@@ -54,8 +56,15 @@ coverage:
 benchgate:
 	./scripts/check_bench.sh
 
+# crashsmoke kills a WAL-backed ksprd mid-mutation-stream with SIGKILL,
+# restarts it over the same store directory, and asserts recovery restores
+# exactly the last acknowledged generation and record count.
+crashsmoke:
+	$(GO) run ./scripts/crashsmoke
+
 # ci mirrors the GitHub workflow locally: formatting, vet, build, race
-# tests, doc gates, lint, the coverage floor and the bench regression gate.
+# tests, doc gates, the crash-recovery smoke test, lint, the coverage
+# floor and the bench regression gate.
 ci:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 	$(GO) vet ./...
@@ -63,6 +72,7 @@ ci:
 	$(GO) test -race ./...
 	./scripts/check_links.sh
 	./scripts/check_docs.sh
+	$(MAKE) crashsmoke
 	$(MAKE) lint
 	$(MAKE) coverage
 	$(MAKE) benchgate

@@ -17,6 +17,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
 	"strconv"
 	"strings"
@@ -38,6 +39,7 @@ func main() {
 		svgPath  = flag.String("svg", "", "write an SVG plot of the regions (d=3 data only)")
 		seed     = flag.Int64("seed", 1, "seed for volume estimation")
 		par      = flag.Int("parallelism", 0, "query engine goroutines (0 = all cores, 1 = serial)")
+		mutate   = flag.Int("mutate", 0, "live-dataset demo: apply this many random mutations while incrementally maintaining the -focal query")
 	)
 	flag.Parse()
 	if *dataPath == "" {
@@ -96,6 +98,15 @@ func main() {
 	}
 	if *volumes {
 		opts = append(opts, kspr.WithVolumes(20000))
+	}
+
+	if *mutate > 0 {
+		if len(panel) > 1 || *svgPath != "" {
+			fmt.Fprintln(os.Stderr, "kspr: -mutate works with a single -focal and no -svg")
+			os.Exit(2)
+		}
+		runMutateDemo(db, panel[0], *k, *mutate, *seed, opts)
+		return
 	}
 
 	if len(panel) > 1 {
@@ -244,6 +255,108 @@ func runPanel(db *kspr.DB, ds *dataset.Dataset, panel []int, k int, opts []kspr.
 	if failed > 0 {
 		os.Exit(1)
 	}
+}
+
+// runMutateDemo exercises the live-dataset subsystem from the terminal:
+// it maintains the focal's kSPR result incrementally while a stream of
+// random mutations (dominated-interior inserts, skyline-ish inserts,
+// repricings, deletions) churns the dataset, printing per-step decisions
+// and verifying the final maintained result against a cold recompute.
+func runMutateDemo(db *kspr.DB, focal, k, steps int, seed int64, opts []kspr.QueryOption) {
+	lq, err := db.MaintainKSPR(focal, k, opts...)
+	if err != nil {
+		fatal(err)
+	}
+	defer lq.Close()
+	focalStable, _ := db.StableID(focal)
+	res, gen, _ := lq.Result()
+	fmt.Printf("maintaining kSPR for record %d (option id %d), k=%d: %d regions at generation %d\n",
+		focal, focalStable, k, len(res.Regions), gen)
+
+	rng := rand.New(rand.NewSource(seed))
+	d := db.Dim()
+	randVec := func(lo, hi float64) []float64 {
+		v := make([]float64, d)
+		for j := range v {
+			v[j] = lo + (hi-lo)*rng.Float64()
+		}
+		return v
+	}
+	// pickVictim draws a random option that is not the focal (dense
+	// indexes shift across mutations, so resolve by stable id each time).
+	pickVictim := func() (int64, bool) {
+		if db.Len() < 2 {
+			return 0, false
+		}
+		for {
+			id, _ := db.StableID(rng.Intn(db.Len()))
+			if id != focalStable {
+				return id, true
+			}
+		}
+	}
+	prev := lq.Stats()
+	for i := 0; i < steps; i++ {
+		var (
+			desc string
+			err  error
+		)
+		switch i % 4 {
+		case 0:
+			desc = "insert interior"
+			_, err = db.Apply(kspr.Insert(randVec(0.02, 0.25)...))
+		case 1:
+			desc = "insert skyline-ish"
+			_, err = db.Apply(kspr.Insert(randVec(0.8, 1)...))
+		case 2:
+			desc = "reprice random"
+			if id, ok := pickVictim(); ok {
+				_, err = db.Apply(kspr.Update(id, randVec(0, 1)...))
+			}
+		default:
+			desc = "delete random"
+			if id, ok := pickVictim(); ok {
+				_, err = db.Apply(kspr.Delete(id))
+			}
+		}
+		if err != nil {
+			fatal(err)
+		}
+		st := lq.Stats()
+		decision := "kept"
+		if st.Recomputed > prev.Recomputed {
+			decision = "recomputed"
+		}
+		prev = st
+		res, gen, err := lq.Result()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("gen %3d  %-20s %-10s %3d regions\n", gen, desc, decision, len(res.Regions))
+	}
+
+	st := lq.Stats()
+	fmt.Printf("\n%d mutations: %d kept (%.0f%%), %d recomputed\n",
+		steps, st.Kept, 100*float64(st.Kept)/float64(steps), st.Recomputed)
+
+	// Verify: the maintained result must equal a cold query right now.
+	res, gen, err = lq.Result()
+	if err != nil {
+		fatal(err)
+	}
+	dense, ok := db.DenseIndex(focalStable)
+	if !ok {
+		fatal(fmt.Errorf("focal option vanished"))
+	}
+	cold, err := db.KSPR(dense, k, opts...)
+	if err != nil {
+		fatal(err)
+	}
+	if len(cold.Regions) != len(res.Regions) {
+		fatal(fmt.Errorf("maintained result (%d regions) diverged from cold recompute (%d regions)",
+			len(res.Regions), len(cold.Regions)))
+	}
+	fmt.Printf("verified against cold recompute at generation %d: %d regions match\n", gen, len(cold.Regions))
 }
 
 func fatal(err error) {

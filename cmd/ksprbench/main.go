@@ -31,6 +31,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
 	"runtime"
 	"time"
@@ -55,6 +56,7 @@ func main() {
 		kFlag   = flag.Int("k", 10, "benchmark shortlist size for -json")
 		par     = flag.Int("parallel", 0, "parallel sweep worker count for -json (0 = all cores, 1 = skip the sweep)")
 		batch   = flag.Int("batch", 0, "batch sweep focal count for -json (0 = skip, otherwise >= 2)")
+		mutN    = flag.Int("mutate", 0, "mutation sweep size for -json: WAL apply throughput + incremental-vs-cold maintenance over this many mutations (0 = skip)")
 	)
 	flag.Parse()
 
@@ -74,8 +76,14 @@ func main() {
 		os.Exit(2)
 	}
 
+	if *mutN < 0 {
+		fmt.Fprintf(os.Stderr, "ksprbench: -mutate must be >= 0, got %d\n", *mutN)
+		flag.Usage()
+		os.Exit(2)
+	}
+
 	if *asJSON {
-		if err := runBenchJSON(*name, *dist, *dims, *kFlag, *scale, *queries, *seed, *par, *batch); err != nil {
+		if err := runBenchJSON(*name, *dist, *dims, *kFlag, *scale, *queries, *seed, *par, *batch, *mutN); err != nil {
 			fmt.Fprintln(os.Stderr, "ksprbench:", err)
 			os.Exit(1)
 		}
@@ -152,13 +160,28 @@ type benchSummary struct {
 	AlgorithmsBatchBase map[string]int64   `json:"ns_per_op_batch_serial,omitempty"`
 	AlgorithmsBatch     map[string]int64   `json:"ns_per_op_batch,omitempty"`
 	BatchSpeedup        map[string]float64 `json:"batch_speedup,omitempty"`
+	// Mutation sweep (-mutate N): live-dataset numbers. MutationOpsPerSec
+	// is the WAL-backed store's apply throughput (single mutations, no
+	// fsync); the incremental pair times keeping one focal's kSPR result
+	// current across N mutations — NsPerGenIncremental with the
+	// maintenance engine (classify, keep or recompute), NsPerGenCold with
+	// a cold recompute every generation — and IncrementalSpeedup their
+	// ratio. IncrementalKept / IncrementalRecomputed report the decision
+	// mix behind the incremental number.
+	Mutations             int     `json:"mutations,omitempty"`
+	MutationOpsPerSec     float64 `json:"mutation_ops_per_sec,omitempty"`
+	NsPerGenIncremental   int64   `json:"ns_per_gen_incremental,omitempty"`
+	NsPerGenCold          int64   `json:"ns_per_gen_cold,omitempty"`
+	IncrementalSpeedup    float64 `json:"incremental_speedup,omitempty"`
+	IncrementalKept       uint64  `json:"incremental_kept,omitempty"`
+	IncrementalRecomputed uint64  `json:"incremental_recomputed,omitempty"`
 }
 
 // runBenchJSON times every algorithm on one synthetic workload — serially,
 // unless par == 1 again on a par-worker engine, and with nb > 0 as an
 // nb-focal batch versus nb serial runs — and writes the ns/op summary to
 // BENCH_<name>.json in the working directory.
-func runBenchJSON(name, dist string, d, k int, scale float64, queries int, seed int64, par, nb int) error {
+func runBenchJSON(name, dist string, d, k int, scale float64, queries int, seed int64, par, nb, nm int) error {
 	n := int(2000 * scale)
 	if n < 100 {
 		n = 100
@@ -293,6 +316,12 @@ func runBenchJSON(name, dist string, d, k int, scale float64, queries int, seed 
 		}
 	}
 
+	if nm > 0 {
+		if err := runMutationSweep(&sum, ds, dist, d, k, seed, nm); err != nil {
+			return err
+		}
+	}
+
 	// The approximate query is part of the serving surface; track it too.
 	start := time.Now()
 	for _, f := range focals {
@@ -304,6 +333,11 @@ func runBenchJSON(name, dist string, d, k int, scale float64, queries int, seed 
 	fmt.Printf("%-10s %12d ns/op\n", "approx", sum.Algorithms["approx"])
 
 	out := fmt.Sprintf("BENCH_%s.json", name)
+	return writeBenchFile(out, &sum, dist, n, d, k, queries)
+}
+
+// writeBenchFile renders the summary to BENCH_<name>.json.
+func writeBenchFile(out string, sum *benchSummary, dist string, n, d, k, queries int) error {
 	f, err := os.Create(out)
 	if err != nil {
 		return err
@@ -318,5 +352,141 @@ func runBenchJSON(name, dist string, d, k int, scale float64, queries int, seed 
 		return err
 	}
 	fmt.Printf("wrote %s (%s n=%d d=%d k=%d, %d queries)\n", out, dist, n, d, k, queries)
+	return nil
+}
+
+// runMutationSweep measures the live-dataset subsystem: the WAL-backed
+// store's apply throughput, and the cost of keeping one focal's kSPR
+// result current across nm mutations — incrementally (classify, keep or
+// recompute) versus a cold recompute per generation. Both maintenance
+// runs see the identical mutation stream (two live DBs evolved in
+// lockstep), so the ratio isolates the maintenance strategy.
+func runMutationSweep(sum *benchSummary, ds *dataset.Dataset, dist string, d, k int, seed int64, nm int) error {
+	// (a) Store apply throughput: bootstrap once, then nm single-mutation
+	// batches (no fsync; the default ksprd configuration).
+	dir, err := os.MkdirTemp("", "ksprbench-store-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	sdb, err := kspr.OpenStore(dir)
+	if err != nil {
+		return err
+	}
+	boot := make([]kspr.Mutation, ds.Len())
+	for i, rec := range ds.Float64s() {
+		boot[i] = kspr.Insert(rec...)
+	}
+	if _, err := sdb.Apply(boot...); err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(seed + 99))
+	randVec := func(lo, hi float64) []float64 {
+		v := make([]float64, d)
+		for j := range v {
+			v[j] = lo + (hi-lo)*rng.Float64()
+		}
+		return v
+	}
+	start := time.Now()
+	for i := 0; i < nm; i++ {
+		var err error
+		switch i % 3 {
+		case 0:
+			_, err = sdb.Apply(kspr.Insert(randVec(0, 1)...))
+		case 1:
+			id, _ := sdb.StableID(rng.Intn(sdb.Len()))
+			_, err = sdb.Apply(kspr.Update(id, randVec(0, 1)...))
+		default:
+			id, _ := sdb.StableID(rng.Intn(sdb.Len()))
+			_, err = sdb.Apply(kspr.Delete(id))
+		}
+		if err != nil {
+			return fmt.Errorf("store sweep mutation %d: %w", i, err)
+		}
+	}
+	elapsed := time.Since(start)
+	sum.Mutations = nm
+	sum.MutationOpsPerSec = float64(nm) / elapsed.Seconds()
+	if err := sdb.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("%-10s %12.0f mutations/sec (WAL store, %s d=%d)\n", "store", sum.MutationOpsPerSec, dist, d)
+
+	// (b) Incremental vs cold maintenance over an identical stream.
+	mkdb := func() (*kspr.DB, error) { return kspr.Open(ds.Float64s()) }
+	inc, err := mkdb()
+	if err != nil {
+		return err
+	}
+	cold, err := mkdb()
+	if err != nil {
+		return err
+	}
+	band := inc.KSkyband(k)
+	focal := band[len(band)/2]
+	focalStable, _ := inc.StableID(focal)
+	var incNs int64
+	start = time.Now()
+	lq, err := inc.MaintainKSPR(focal, k, kspr.WithoutGeometry())
+	if err != nil {
+		return err
+	}
+	defer lq.Close()
+	incNs += time.Since(start).Nanoseconds() // the initial cold run counts for both sides
+	var coldNs int64
+	start = time.Now()
+	if _, err := cold.KSPR(focal, k, kspr.WithoutGeometry()); err != nil {
+		return err
+	}
+	coldNs += time.Since(start).Nanoseconds()
+
+	rng = rand.New(rand.NewSource(seed + 7))
+	for i := 0; i < nm; i++ {
+		var muts []kspr.Mutation
+		switch i % 4 {
+		case 0, 1: // irrelevant churn deep in the dominated interior
+			muts = []kspr.Mutation{kspr.Insert(randVec(0.01, 0.2)...)}
+		case 2: // relevant: skyline-ish insert
+			muts = []kspr.Mutation{kspr.Insert(randVec(0.85, 1)...)}
+		default: // delete a random non-focal option (re-draw until distinct)
+			id := focalStable
+			for id == focalStable {
+				id, _ = inc.StableID(rng.Intn(inc.Len()))
+			}
+			muts = []kspr.Mutation{kspr.Delete(id)}
+		}
+		start = time.Now()
+		if _, err := inc.Apply(muts...); err != nil { // maintenance runs inside Apply
+			return fmt.Errorf("incremental sweep %d: %w", i, err)
+		}
+		if _, _, err := lq.Result(); err != nil {
+			return fmt.Errorf("incremental sweep %d: %w", i, err)
+		}
+		incNs += time.Since(start).Nanoseconds()
+
+		start = time.Now()
+		if _, err := cold.Apply(muts...); err != nil {
+			return fmt.Errorf("cold sweep %d: %w", i, err)
+		}
+		dense, ok := cold.DenseIndex(focalStable)
+		if !ok {
+			return fmt.Errorf("cold sweep %d: focal vanished", i)
+		}
+		if _, err := cold.KSPR(dense, k, kspr.WithoutGeometry()); err != nil {
+			return fmt.Errorf("cold sweep %d: %w", i, err)
+		}
+		coldNs += time.Since(start).Nanoseconds()
+	}
+	st := lq.Stats()
+	sum.NsPerGenIncremental = incNs / int64(nm)
+	sum.NsPerGenCold = coldNs / int64(nm)
+	sum.IncrementalKept, sum.IncrementalRecomputed = st.Kept, st.Recomputed
+	if sum.NsPerGenIncremental > 0 {
+		sum.IncrementalSpeedup = float64(sum.NsPerGenCold) / float64(sum.NsPerGenIncremental)
+	}
+	fmt.Printf("%-10s %12d ns/gen incremental vs %d ns/gen cold (%.2fx, %d kept / %d recomputed)\n",
+		"maintain", sum.NsPerGenIncremental, sum.NsPerGenCold,
+		sum.IncrementalSpeedup, st.Kept, st.Recomputed)
 	return nil
 }

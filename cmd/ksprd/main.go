@@ -1,16 +1,22 @@
 // Command ksprd serves kSPR and related rank-aware queries over HTTP/JSON:
-// a long-lived daemon with a hot-reloadable dataset registry, a bounded
-// worker pool, a sharded result cache, and JSON metrics.
+// a long-lived daemon with a hot-reloadable, mutable dataset registry, a
+// bounded worker pool, a sharded result cache with cross-generation
+// migration, and JSON metrics.
 //
 // Start it with a preloaded dataset and query it:
 //
 //	ksprgen -dist IND -n 5000 -d 3 -o d.csv
 //	ksprd -addr :8080 -data demo=d.csv &
 //	curl -s localhost:8080/v1/kspr -d '{"dataset":"demo","focal":17,"k":10}'
+//	curl -s localhost:8080/v1/datasets/demo:mutate -d '{"op":"insert","values":[0.9,0.8,0.7]}'
 //	curl -s localhost:8080/metrics
 //
 // Datasets can also be loaded (and hot-reloaded) at runtime via
-// POST /v1/datasets; see the root README for the full API.
+// POST /v1/datasets, and mutated live via POST /v1/datasets/{name}:mutate.
+// With -store-dir every dataset is WAL-backed: mutations are logged before
+// they are acknowledged and a restarted daemon recovers the exact
+// pre-crash generation (snapshot load + WAL replay). See the root README
+// and docs/HTTP_API.md for the full API.
 package main
 
 import (
@@ -51,9 +57,16 @@ func main() {
 		maxPar   = flag.Int("max-parallelism", 0, "largest engine parallelism a request may ask for (0 = all cores)")
 		cpuSlots = flag.Int("cpu-slots", 0, "extra CPU slots shared by parallel queries (0 = cores minus workers, -1 = none)")
 		maxBatch = flag.Int("max-batch", 0, "largest item count a /v1/kspr:batch request may carry (0 = 1024)")
+		storeDir = flag.String("store-dir", "", "directory for WAL-backed dataset stores (empty = in-memory datasets)")
+		walSync  = flag.Bool("wal-sync", false, "fsync the WAL on every mutation batch (survives power loss, not just crashes)")
+		snapshot = flag.Int("snapshot-every", 0, "store snapshot cadence in mutation batches (0 = default 256, negative = never)")
 	)
-	flag.Var(&preload, "data", "preload dataset as name=path.csv (repeatable)")
+	flag.Var(&preload, "data", "preload dataset as name=path.csv (repeatable; with -store-dir this seeds/replaces the named store)")
 	flag.Parse()
+
+	if *storeDir == "" && (*walSync || *snapshot != 0) {
+		fatal(fmt.Errorf("-wal-sync / -snapshot-every need -store-dir"))
+	}
 
 	srv := server.NewServer(server.Config{
 		Workers:        *workers,
@@ -65,7 +78,20 @@ func main() {
 		MaxParallelism: *maxPar,
 		CPUSlots:       *cpuSlots,
 		MaxBatch:       *maxBatch,
+		StoreDir:       *storeDir,
+		WALSync:        *walSync,
+		SnapshotEvery:  *snapshot,
 	})
+	if *storeDir != "" {
+		snaps, err := srv.RecoverDatasets()
+		if err != nil {
+			fatal(err)
+		}
+		for _, snap := range snaps {
+			fmt.Fprintf(os.Stderr, "ksprd: recovered %q: %d records, d=%d (store generation %d)\n",
+				snap.Name, snap.DB.Len(), snap.DB.Dim(), snap.StoreGeneration)
+		}
+	}
 	for _, spec := range preload {
 		name, path, ok := strings.Cut(spec, "=")
 		if !ok || name == "" || path == "" {

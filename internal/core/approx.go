@@ -140,7 +140,7 @@ func RunApprox(tree *rtree.Tree, focal geom.Vector, focalID int, opts ApproxOpti
 		if box.lo.Sum() >= 1 {
 			continue
 		}
-		cb := &cellBounds{cons: cons, sv: r.lpSolver()}
+		cb := &cellBounds{cons: cons, sv: r.lpSolver(), idx: r.tree, skip: r.rankSkip}
 		lower, upper, err := r.boxRankBounds(cb)
 		if err != nil {
 			return nil, err

@@ -83,6 +83,14 @@ type cellBounds struct {
 	// sv solves this cell's bound LPs (and accounts them); per-worker when
 	// bounds are computed in parallel.
 	sv *lp.Solver
+	// idx is the record index the traversal walks (the query's candidate
+	// bounds index, or the full dataset tree for the approximate engine);
+	// skip excludes record ids from leaf-level decisions. The query bounds
+	// leave skip nil — their candidate index already contains only relevant
+	// records — while the approximate engine sets it to the runner's
+	// rankSkip.
+	idx  *rtree.Tree
+	skip map[int]bool
 	// fast bounds (transformed space, FastBounds mode only)
 	useFast bool
 	wL, wU  geom.Vector // original-space d-dimensional corner weight vectors
@@ -122,22 +130,37 @@ func intervalOverVertices(verts []geom.Vector, obj geom.Vector, c float64) (floa
 }
 
 // rankBounds computes [Rank(c), Rank̄(c)] for a cell: the best and worst
-// rank the focal record can attain inside it, over the FULL dataset
-// (processed or not — the bounds are independent of processing state). sv
-// is the calling worker's LP solver.
+// rank the focal record can attain inside it. The traversal runs over the
+// query's candidate bounds index (the non-skip k-skyband) with the
+// focal's dominators folded in as a constant: a dominator outranks the
+// focal everywhere, and a record outside the k-skyband can only beat the
+// focal where at least K skyband records already do (Lemma 6's argument),
+// so 1 + baseRank + [certain, possible] skyband beaters brackets the true
+// rank exactly. Beyond being tighter and cheaper than a full-dataset
+// traversal, this makes every bound decision a pure function of the
+// candidate set — the property incremental maintenance relies on. sv is
+// the calling worker's LP solver.
 func (r *runner) rankBounds(leaf *celltree.Node, sv *lp.Solver) (int, int, error) {
 	cb := &cellBounds{cons: r.ct.PathConstraints(leaf), sv: sv}
+	base := 1 + r.baseRank
 
 	if r.opts.Space == Original {
 		// Appendix C: every original-space cell touches the origin, so raw
 		// score intervals all start at 0 and are useless; bound the
 		// difference S(r) - S(p) instead.
-		return r.rankBoundsOriginal(leaf, cb)
+		return r.rankBoundsOriginal(leaf, cb, base)
 	}
 
 	if g := leaf.Geom; g != nil {
 		cb.verts = g.Verts
 	}
+	lower, upper := base, base
+	if r.boundsIdx == nil {
+		// No candidate can ever outscore the focal record: its rank is
+		// exactly 1 + baseRank throughout the cell.
+		return lower, upper, nil
+	}
+	cb.idx = r.boundsIdx
 	var err error
 	cb.pMin, cb.pMax, err = r.interval(cb, r.pObj, r.pConst)
 	if err != nil {
@@ -153,26 +176,27 @@ func (r *runner) rankBounds(leaf *celltree.Node, sv *lp.Solver) (int, int, error
 	}
 
 	if r.opts.Bounds == RecordBounds {
-		return r.rankBoundsByRecords(cb)
+		return r.rankBoundsByRecords(cb, lower, upper)
 	}
-	lower, upper := 1, 1
-	err = r.updateRank(r.tree.Root, cb, &lower, &upper)
+	err = r.updateRank(r.boundsIdx.Root, cb, &lower, &upper)
 	return lower, upper, err
 }
 
 // rankBoundsOriginal derives rank bounds in the original space by
-// minimizing/maximizing S(r) - S(p) per entry (Appendix C). Fast bounds do
-// not apply there (the min-vector would always be the origin).
-func (r *runner) rankBoundsOriginal(leaf *celltree.Node, cb *cellBounds) (int, int, error) {
+// minimizing/maximizing S(r) - S(p) per entry (Appendix C), over the same
+// candidate bounds index as the transformed space. Fast bounds do not
+// apply there (the min-vector would always be the origin).
+func (r *runner) rankBoundsOriginal(leaf *celltree.Node, cb *cellBounds, base int) (int, int, error) {
 	if g := leaf.Geom; g != nil {
 		cb.verts = g.Verts
 	}
-	lower, upper := 1, 1
+	lower, upper := base, base
+	if r.boundsIdx == nil {
+		return lower, upper, nil
+	}
+	cb.idx = r.boundsIdx
 	if r.opts.Bounds == RecordBounds {
-		for id, rec := range r.tree.Records {
-			if r.rankSkip[id] {
-				continue
-			}
+		for _, rec := range r.boundsIdx.Records {
 			if err := r.recordDecideOriginal(rec, cb, &lower, &upper); err != nil {
 				return 0, 0, err
 			}
@@ -182,7 +206,7 @@ func (r *runner) rankBoundsOriginal(leaf *celltree.Node, cb *cellBounds) (int, i
 		}
 		return lower, upper, nil
 	}
-	err := r.updateRankOriginal(r.tree.Root, cb, &lower, &upper)
+	err := r.updateRankOriginal(r.boundsIdx.Root, cb, &lower, &upper)
 	return lower, upper, err
 }
 
@@ -253,10 +277,10 @@ func (r *runner) updateRankOriginal(n *rtree.Node, cb *cellBounds, lower, upper 
 			}
 			continue
 		}
-		if r.rankSkip[e.RecordID] {
+		if cb.skip != nil && cb.skip[e.RecordID] {
 			continue
 		}
-		if err := r.recordDecideOriginal(r.tree.Records[e.RecordID], cb, lower, upper); err != nil {
+		if err := r.recordDecideOriginal(cb.idx.Records[e.RecordID], cb, lower, upper); err != nil {
 			return err
 		}
 		if *lower > r.opts.K {
@@ -381,10 +405,10 @@ func (r *runner) updateRank(n *rtree.Node, cb *cellBounds, lower, upper *int) er
 			}
 			continue
 		}
-		if r.rankSkip[e.RecordID] {
+		if cb.skip != nil && cb.skip[e.RecordID] {
 			continue
 		}
-		if err := r.recordDecide(r.tree.Records[e.RecordID], cb, lower, upper); err != nil {
+		if err := r.recordDecide(cb.idx.Records[e.RecordID], cb, lower, upper); err != nil {
 			return err
 		}
 		if *lower > r.opts.K {
@@ -481,13 +505,9 @@ func (r *runner) recordDecide(rec geom.Vector, cb *cellBounds, lower, upper *int
 }
 
 // rankBoundsByRecords is the record_bounds ablation (§6.1 without the
-// index): exact per-record score intervals for every record.
-func (r *runner) rankBoundsByRecords(cb *cellBounds) (int, int, error) {
-	lower, upper := 1, 1
-	for id, rec := range r.tree.Records {
-		if r.rankSkip[id] {
-			continue
-		}
+// index structure): exact per-record score intervals for every candidate.
+func (r *runner) rankBoundsByRecords(cb *cellBounds, lower, upper int) (int, int, error) {
+	for _, rec := range r.boundsIdx.Records {
 		if err := r.recordDecide(rec, cb, &lower, &upper); err != nil {
 			return 0, 0, err
 		}

@@ -90,6 +90,11 @@ type runner struct {
 
 	ct      *celltree.Tree
 	lpStats lp.Stats
+	// boundsIdx is the candidate index LP-CTA's look-ahead rank bounds
+	// traverse: an aggregate R-tree over exactly this query's non-skip
+	// k-skyband (see buildBoundsIndex). nil when the query has no
+	// candidates or no look-ahead.
+	boundsIdx *rtree.Tree
 	// solver is the coordinating goroutine's reusable LP workspace; engine
 	// workers get their own (see parallel.go).
 	solver *lp.Solver
@@ -416,6 +421,31 @@ func (r *runner) buildCandIndex() (*candIndex, error) {
 	return &candIndex{tree: tree, orig: candOrig}, nil
 }
 
+// buildBoundsIndex assembles the index LP-CTA's look-ahead rank bounds
+// traverse: an aggregate R-tree over exactly this query's candidates (the
+// non-skip k-skyband, ascending dataset id). Standalone queries reuse the
+// candidate index's dedicated tree; batch queries materialize their own
+// small tree from the shared band and membership mask, so the bound
+// decisions — group MBRs, counts, traversal order — are a pure function
+// of the candidate set and therefore identical between batch and serial
+// runs, and across dataset generations that leave the candidate set
+// untouched (incremental maintenance's keep-path guarantee).
+func (r *runner) buildBoundsIndex(cand *candIndex) (*rtree.Tree, error) {
+	if cand == nil {
+		return nil, nil
+	}
+	if cand.member == nil {
+		return cand.tree, nil
+	}
+	recs := make([]geom.Vector, 0, len(cand.orig))
+	for i, in := range cand.member {
+		if in {
+			recs = append(recs, r.shared.recs[i])
+		}
+	}
+	return rtree.Build(recs)
+}
+
 // runCTA inserts the given records' hyperplanes one by one (§4).
 func (r *runner) runCTA(ids []int) error {
 	for _, id := range ids {
@@ -453,6 +483,12 @@ func (r *runner) runProgressive() error {
 	if err != nil {
 		return err
 	}
+	lookahead := r.opts.Algorithm == LPCTA
+	if lookahead {
+		if r.boundsIdx, err = r.buildBoundsIndex(cand); err != nil {
+			return err
+		}
+	}
 
 	// First batch: the skyline of the competing records (Invariant 1) —
 	// derived from the shared dominance table when batched (exact here:
@@ -465,7 +501,6 @@ func (r *runner) runProgressive() error {
 		batch = r.tree.Skyline(excludeBase)
 	}
 
-	lookahead := r.opts.Algorithm == LPCTA
 	r.ct.TakeFreshLeaves() // the root cell's bounds are trivially [1, n]
 
 	for len(batch) > 0 && !r.ct.Done() {

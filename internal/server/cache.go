@@ -3,6 +3,7 @@ package server
 import (
 	"container/list"
 	"hash/fnv"
+	"strings"
 	"sync"
 	"sync/atomic"
 )
@@ -97,6 +98,29 @@ func (c *Cache) Put(key string, val any) {
 		delete(s.items, oldest.Value.(*cacheEntry).key)
 	}
 	s.mu.Unlock()
+}
+
+// EachPrefix calls fn for every cached entry whose key starts with
+// prefix ("" matches all). Filtering happens before the per-shard
+// snapshot copy, so scanning for one dataset-generation's entries costs
+// only the matches; fn then runs lock-free and may call back into the
+// cache (the migration pass re-Puts entries under new-generation keys).
+// Iteration order is unspecified.
+func (c *Cache) EachPrefix(prefix string, fn func(key string, val any)) {
+	for _, s := range c.shards {
+		s.mu.Lock()
+		var entries []cacheEntry
+		for el := s.ll.Front(); el != nil; el = el.Next() {
+			e := el.Value.(*cacheEntry)
+			if strings.HasPrefix(e.key, prefix) {
+				entries = append(entries, *e)
+			}
+		}
+		s.mu.Unlock()
+		for _, e := range entries {
+			fn(e.key, e.val)
+		}
+	}
 }
 
 // Len returns the total number of cached entries.

@@ -355,13 +355,15 @@ func (s *Server) handleDatasetLoad(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, DatasetInfo{
-		Name:       snap.Name,
-		Generation: snap.Generation,
-		Records:    snap.DB.Len(),
-		Dims:       snap.DB.Dim(),
-		Attributes: snap.Dataset.Attributes,
-		Source:     snap.Source,
-		LoadedAt:   snap.LoadedAt,
+		Name:            snap.Name,
+		Generation:      snap.Generation,
+		StoreGeneration: snap.StoreGeneration,
+		Durable:         snap.Durable,
+		Records:         snap.DB.Len(),
+		Dims:            snap.DB.Dim(),
+		Attributes:      snap.Dataset.Attributes,
+		Source:          snap.Source,
+		LoadedAt:        snap.LoadedAt,
 	})
 }
 
@@ -402,10 +404,13 @@ func cacheKey(snap *Snapshot, req queryRequest, algo kspr.Algorithm, approx bool
 	return b.String()
 }
 
-// cachedQuery is what the result cache stores: the wire response plus the
-// raw library result (reused by /v1/impact for region-membership sampling).
-// Both are immutable once cached.
+// cachedQuery is what the result cache stores: the canonical request (the
+// cache key's input, kept so the mutation path can re-key entries across
+// generations), the wire response, and the raw library result (reused by
+// /v1/impact for region-membership sampling). All are immutable once
+// cached.
 type cachedQuery struct {
+	req  queryRequest
 	resp *queryResponse
 	raw  any // *kspr.Result or *kspr.ApproxResult
 }
@@ -516,7 +521,7 @@ func (s *Server) runKSPR(ctx context.Context, snap *Snapshot, req queryRequest) 
 		resp.Converged = &conv
 	}
 	if !req.NoCache {
-		s.cache.Put(key, &cachedQuery{resp: resp, raw: val})
+		s.cache.Put(key, &cachedQuery{req: req, resp: resp, raw: val})
 	}
 	return resp, val, nil
 }
@@ -736,6 +741,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	var queries []kspr.BatchQuery
 	var idx []int
 	var keys []string
+	var reqs []queryRequest
 	for i, q := range items {
 		if msg, bad := parseErrs[i]; bad {
 			emitter.settle(i, batchLine{Index: i, Error: msg, Status: http.StatusBadRequest})
@@ -768,6 +774,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		queries = append(queries, bq)
 		idx = append(idx, i)
 		keys = append(keys, key)
+		reqs = append(reqs, qr)
 	}
 
 	// Grant engine parallelism for the whole batch from the shared CPU
@@ -826,7 +833,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 						}
 						resp := s.batchItemResponse(snap, items[i], queries[j], algo, space, o.Result)
 						if !req.NoCache {
-							s.cache.Put(keys[j], &cachedQuery{resp: resp, raw: o.Result})
+							s.cache.Put(keys[j], &cachedQuery{req: reqs[j], resp: resp, raw: o.Result})
 						}
 						emitter.settle(i, batchLine{Index: i, Result: resp})
 					}),

@@ -22,6 +22,12 @@ type Metrics struct {
 	requests atomic.Uint64
 	errors   atomic.Uint64
 
+	mutationBatches atomic.Uint64
+	mutationsTotal  atomic.Uint64
+	cacheMigrated   atomic.Uint64
+	cacheDropped    atomic.Uint64
+	recoveries      atomic.Uint64
+
 	mu     sync.Mutex
 	lat    [latWindow]float64 // ring of latencies in milliseconds
 	latIdx int
@@ -77,6 +83,37 @@ func (m *Metrics) AddErrors(n uint64) {
 	}
 }
 
+// AddMutationBatch records one applied mutation batch of n mutations,
+// with migrated/dropped counting the cached results carried across the
+// generation versus orphaned by it.
+func (m *Metrics) AddMutationBatch(n, migrated, dropped int) {
+	m.mutationBatches.Add(1)
+	m.mutationsTotal.Add(uint64(n))
+	m.cacheMigrated.Add(uint64(migrated))
+	m.cacheDropped.Add(uint64(dropped))
+}
+
+// AddRecoveries records datasets restored by WAL replay at startup.
+func (m *Metrics) AddRecoveries(n int) {
+	m.recoveries.Add(uint64(n))
+}
+
+// MutationStats is the /metrics view of the live-dataset subsystem.
+type MutationStats struct {
+	// Batches / Mutations count applied mutation batches and the
+	// individual mutations inside them.
+	Batches   uint64 `json:"batches_total"`
+	Mutations uint64 `json:"mutations_total"`
+	// CacheMigrated counts cached kSPR results proven unaffected by a
+	// mutation batch and carried to the new generation; CacheDropped those
+	// orphaned (left to age out of the LRU).
+	CacheMigrated uint64 `json:"cache_results_migrated_total"`
+	CacheDropped  uint64 `json:"cache_results_dropped_total"`
+	// Recoveries counts datasets restored by snapshot load + WAL replay at
+	// startup.
+	Recoveries uint64 `json:"wal_recoveries_total"`
+}
+
 // LatencyStats are percentile estimates over the recent-latency window.
 type LatencyStats struct {
 	P50Ms float64 `json:"p50_ms"`
@@ -94,6 +131,7 @@ type MetricsSnapshot struct {
 	Cache         CacheStats        `json:"cache"`
 	Pool          PoolStats         `json:"pool"`
 	CPU           CPUStats          `json:"cpu"`
+	Mutations     MutationStats     `json:"mutations"`
 	ByEndpoint    map[string]uint64 `json:"requests_by_endpoint"`
 	Datasets      []DatasetInfo     `json:"datasets"`
 }
@@ -113,6 +151,13 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 		Requests:      m.requests.Load(),
 		Errors:        m.errors.Load(),
 		ByEndpoint:    map[string]uint64{},
+		Mutations: MutationStats{
+			Batches:       m.mutationBatches.Load(),
+			Mutations:     m.mutationsTotal.Load(),
+			CacheMigrated: m.cacheMigrated.Load(),
+			CacheDropped:  m.cacheDropped.Load(),
+			Recoveries:    m.recoveries.Load(),
+		},
 	}
 	m.byEndpoint.Range(func(k, v any) bool {
 		snap.ByEndpoint[k.(string)] = v.(*atomic.Uint64).Load()

@@ -36,6 +36,17 @@ type Config struct {
 	// queries may use cores the worker pool leaves idle. Set -1 to force a
 	// zero budget (every query serial).
 	CPUSlots int
+	// StoreDir, when non-empty, makes every dataset durable: each name
+	// gets a WAL-backed store under StoreDir/<name>, mutations are
+	// WAL-appended before they are acknowledged, and startup recovery
+	// (Registry.Recover) restores the pre-crash generations. Empty keeps
+	// datasets in memory (still mutable, not durable).
+	StoreDir string
+	// WALSync fsyncs the WAL on every mutation batch (see kspr.WithWALSync);
+	// SnapshotEvery sets the store snapshot cadence in batches (0 =
+	// library default, negative disables automatic snapshots).
+	WALSync       bool
+	SnapshotEvery int
 }
 
 func (c *Config) normalize() {
@@ -82,9 +93,13 @@ type Server struct {
 // NewServer wires the subsystem together.
 func NewServer(cfg Config) *Server {
 	cfg.normalize()
+	registry := NewRegistry()
+	if cfg.StoreDir != "" {
+		registry = NewRegistryWithStore(cfg.StoreDir, cfg.WALSync, cfg.SnapshotEvery)
+	}
 	s := &Server{
 		cfg:      cfg,
-		registry: NewRegistry(),
+		registry: registry,
 		pool:     NewPool(cfg.Workers, cfg.Queue),
 		cache:    NewCache(cfg.CacheShards, cfg.CacheCapacity),
 		cpu:      NewCPUBudget(cfg.CPUSlots),
@@ -96,6 +111,10 @@ func NewServer(cfg Config) *Server {
 	mux.HandleFunc("GET /v1/datasets", s.instrument("datasets.list", s.handleDatasetList))
 	mux.HandleFunc("POST /v1/datasets", s.instrument("datasets.load", s.handleDatasetLoad))
 	mux.HandleFunc("DELETE /v1/datasets/{name}", s.instrument("datasets.unload", s.handleDatasetUnload))
+	// {action} carries the Google-style custom verb ("<name>:mutate"); the
+	// handler rejects anything else, keeping the plain POST /v1/datasets
+	// collection route unambiguous.
+	mux.HandleFunc("POST /v1/datasets/{action}", s.instrument("datasets.mutate", s.handleDatasetMutate))
 	mux.HandleFunc("POST /v1/kspr", s.instrument("kspr", s.handleKSPR))
 	mux.HandleFunc("POST /v1/kspr:batch", s.instrument("kspr.batch", s.handleBatch))
 	mux.HandleFunc("POST /v1/topk", s.instrument("topk", s.handleTopK))
@@ -107,6 +126,15 @@ func NewServer(cfg Config) *Server {
 
 // Registry exposes the dataset registry (e.g. for preloading at startup).
 func (s *Server) Registry() *Registry { return s.registry }
+
+// RecoverDatasets re-registers every dataset found in the store directory
+// (snapshot load + WAL replay) and accounts the recoveries in /metrics.
+// Call once at startup, before serving.
+func (s *Server) RecoverDatasets() ([]*Snapshot, error) {
+	snaps, err := s.registry.Recover()
+	s.metrics.AddRecoveries(len(snaps))
+	return snaps, err
+}
 
 // Handler returns the service's HTTP handler.
 func (s *Server) Handler() http.Handler { return s.mux }
@@ -140,11 +168,13 @@ func (s *Server) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
 	}
 }
 
-// Close drains the worker pool gracefully: queued queries finish, new
-// submissions fail with ErrPoolClosed. Call after the HTTP listener has
-// stopped accepting requests (http.Server.Shutdown).
+// Close drains the worker pool gracefully (queued queries finish, new
+// submissions fail with ErrPoolClosed) and releases the registry's store
+// handles. Call after the HTTP listener has stopped accepting requests
+// (http.Server.Shutdown).
 func (s *Server) Close() {
 	s.pool.Close()
+	s.registry.Close()
 }
 
 // ListenAndServe runs the service on addr until ctx is cancelled, then

@@ -1,0 +1,343 @@
+package store
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func open(t *testing.T, dir string, opts Options) *Store {
+	t.Helper()
+	s, err := Open(dir, opts)
+	if err != nil {
+		t.Fatalf("open store: %v", err)
+	}
+	return s
+}
+
+func apply(t *testing.T, s *Store, muts ...Mutation) (*Version, []Applied) {
+	t.Helper()
+	v, a, err := s.Apply(muts)
+	if err != nil {
+		t.Fatalf("apply: %v", err)
+	}
+	return v, a
+}
+
+func TestApplyBasics(t *testing.T) {
+	s := open(t, t.TempDir(), Options{})
+	v, a := apply(t, s,
+		Mutation{Op: OpInsert, Values: []float64{1, 2}},
+		Mutation{Op: OpInsert, Values: []float64{3, 4}},
+	)
+	if v.Gen != 1 || v.Len() != 2 || v.Dim() != 2 {
+		t.Fatalf("after insert: gen=%d len=%d dim=%d", v.Gen, v.Len(), v.Dim())
+	}
+	if a[0].ID != 0 || a[1].ID != 1 {
+		t.Fatalf("assigned ids %d, %d", a[0].ID, a[1].ID)
+	}
+	v, a = apply(t, s, Mutation{Op: OpUpdate, ID: 0, Values: []float64{9, 9}})
+	if got := v.Rows()[0]; got[0] != 9 {
+		t.Fatalf("update not applied: %v", got)
+	}
+	if a[0].Old[0] != 1 {
+		t.Fatalf("old values not captured: %v", a[0].Old)
+	}
+	v, _ = apply(t, s, Mutation{Op: OpDelete, ID: 0})
+	if v.Len() != 1 || v.IDs()[0] != 1 {
+		t.Fatalf("delete left %v", v.IDs())
+	}
+	if _, ok := v.Dense(0); ok {
+		t.Fatal("deleted id still dense-resolvable")
+	}
+	if i, ok := v.Dense(1); !ok || i != 0 {
+		t.Fatalf("Dense(1) = %d, %v", i, ok)
+	}
+	// New inserts never reuse a deleted id.
+	_, a = apply(t, s, Mutation{Op: OpInsert, Values: []float64{5, 5}})
+	if a[0].ID != 2 {
+		t.Fatalf("insert reused id: %d", a[0].ID)
+	}
+}
+
+func TestApplyValidation(t *testing.T) {
+	s := open(t, t.TempDir(), Options{})
+	apply(t, s, Mutation{Op: OpInsert, Values: []float64{1, 2}})
+	cases := []Mutation{
+		{Op: OpInsert, Values: []float64{1, 2, 3}},     // wrong dim
+		{Op: OpInsert, Values: nil},                    // empty
+		{Op: OpInsert, ID: 7, Values: []float64{1, 2}}, // explicit id
+		{Op: OpUpdate, ID: 42, Values: []float64{1, 2}},
+		{Op: OpDelete, ID: 42},
+		{Op: OpDelete, ID: 0, Values: []float64{1, 2}},
+		{Op: Op(9)},
+	}
+	for i, m := range cases {
+		if _, _, err := s.Apply([]Mutation{m}); err == nil {
+			t.Fatalf("case %d: invalid mutation accepted", i)
+		}
+	}
+	// A failed batch must not change anything.
+	_, _, err := s.Apply([]Mutation{
+		{Op: OpInsert, Values: []float64{8, 8}},
+		{Op: OpDelete, ID: 42},
+	})
+	if err == nil {
+		t.Fatal("half-bad batch accepted")
+	}
+	v := s.View()
+	if v.Gen != 1 || v.Len() != 1 {
+		t.Fatalf("failed batch mutated state: gen=%d len=%d", v.Gen, v.Len())
+	}
+}
+
+func TestVersionsAreImmutable(t *testing.T) {
+	s := open(t, t.TempDir(), Options{})
+	v1, _ := apply(t, s, Mutation{Op: OpInsert, Values: []float64{1, 2}})
+	v2, _ := apply(t, s, Mutation{Op: OpUpdate, ID: 0, Values: []float64{7, 7}})
+	if v1.Rows()[0][0] != 1 {
+		t.Fatalf("old version mutated: %v", v1.Rows()[0])
+	}
+	if v2.Rows()[0][0] != 7 {
+		t.Fatalf("new version wrong: %v", v2.Rows()[0])
+	}
+}
+
+func TestRecoveryFromWALOnly(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir, Options{})
+	apply(t, s, Mutation{Op: OpInsert, Values: []float64{1, 2}})
+	apply(t, s, Mutation{Op: OpInsert, Values: []float64{3, 4}})
+	apply(t, s, Mutation{Op: OpDelete, ID: 0})
+	want := s.View()
+	// Simulate a crash: reopen without Close.
+	s2 := open(t, dir, Options{})
+	assertSameVersion(t, want, s2.View())
+	// The recovered store keeps assigning fresh ids.
+	_, a := apply(t, s2, Mutation{Op: OpInsert, Values: []float64{5, 6}})
+	if a[0].ID != 2 {
+		t.Fatalf("recovered nextID wrong: assigned %d", a[0].ID)
+	}
+}
+
+func TestRecoveryWithSnapshotAndTail(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir, Options{SnapshotEvery: -1})
+	apply(t, s, Mutation{Op: OpInsert, Values: []float64{1, 2}})
+	apply(t, s, Mutation{Op: OpInsert, Values: []float64{3, 4}})
+	if err := s.Snapshot(); err != nil {
+		t.Fatalf("snapshot: %v", err)
+	}
+	apply(t, s, Mutation{Op: OpUpdate, ID: 1, Values: []float64{8, 8}})
+	want := s.View()
+	s2 := open(t, dir, Options{})
+	assertSameVersion(t, want, s2.View())
+	if s2.View().Gen != 3 {
+		t.Fatalf("recovered generation %d, want 3", s2.View().Gen)
+	}
+}
+
+func TestTornTailIsTruncated(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir, Options{})
+	apply(t, s, Mutation{Op: OpInsert, Values: []float64{1, 2}})
+	want := s.View()
+	// A crash mid-append leaves a torn frame: some header bytes and part
+	// of a payload.
+	f, err := os.OpenFile(filepath.Join(dir, "wal.log"), os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{200, 0, 0, 0, 1, 2, 3, 4, 9, 9}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	s2 := open(t, dir, Options{})
+	assertSameVersion(t, want, s2.View())
+	// The tail was truncated, so appending keeps working.
+	v, _ := apply(t, s2, Mutation{Op: OpInsert, Values: []float64{3, 4}})
+	if v.Gen != 2 || v.Len() != 2 {
+		t.Fatalf("post-truncate apply: gen=%d len=%d", v.Gen, v.Len())
+	}
+	s3 := open(t, dir, Options{})
+	assertSameVersion(t, v, s3.View())
+}
+
+func TestMidLogCorruptionIsAnError(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir, Options{})
+	apply(t, s, Mutation{Op: OpInsert, Values: []float64{1, 2}})
+	apply(t, s, Mutation{Op: OpInsert, Values: []float64{3, 4}})
+	path := filepath.Join(dir, "wal.log")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[9] ^= 0xff // flip a byte inside the FIRST frame's payload
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, Options{}); err == nil {
+		t.Fatal("mid-log corruption silently accepted")
+	}
+}
+
+// TestCrashStream is the acceptance scenario: a randomized mutation
+// stream, "killed" (abandoned without Close) at a random point and
+// reopened, must recover the exact pre-crash dataset and generation —
+// including when snapshots landed mid-stream.
+func TestCrashStream(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for round := 0; round < 5; round++ {
+		dir := t.TempDir()
+		s := open(t, dir, Options{SnapshotEvery: 7})
+		var live []int64
+		steps := 10 + rng.Intn(40)
+		for i := 0; i < steps; i++ {
+			var m Mutation
+			switch {
+			case len(live) == 0 || rng.Float64() < 0.5:
+				m = Mutation{Op: OpInsert, Values: []float64{rng.Float64(), rng.Float64(), rng.Float64()}}
+			case rng.Float64() < 0.5:
+				m = Mutation{Op: OpUpdate, ID: live[rng.Intn(len(live))], Values: []float64{rng.Float64(), rng.Float64(), rng.Float64()}}
+			default:
+				m = Mutation{Op: OpDelete, ID: live[rng.Intn(len(live))]}
+			}
+			_, a, err := s.Apply([]Mutation{m})
+			if err != nil {
+				t.Fatalf("round %d step %d: %v", round, i, err)
+			}
+			switch a[0].Op {
+			case OpInsert:
+				live = append(live, a[0].ID)
+			case OpDelete:
+				for j, id := range live {
+					if id == a[0].ID {
+						live = append(live[:j], live[j+1:]...)
+						break
+					}
+				}
+			}
+		}
+		want := s.View()
+		s2 := open(t, dir, Options{}) // crash: no Close
+		assertSameVersion(t, want, s2.View())
+		if s2.View().Gen != want.Gen {
+			t.Fatalf("round %d: recovered gen %d, want %d", round, s2.View().Gen, want.Gen)
+		}
+	}
+}
+
+func TestSnapshotTruncatesWAL(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir, Options{SnapshotEvery: 3})
+	for i := 0; i < 7; i++ {
+		apply(t, s, Mutation{Op: OpInsert, Values: []float64{float64(i), 1}})
+	}
+	// 7 batches with cadence 3: two snapshots happened, WAL holds 1 frame.
+	fi, err := os.Stat(filepath.Join(dir, "wal.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Size() == 0 {
+		t.Fatal("wal empty; expected exactly the post-snapshot tail")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "snapshot.snap")); err != nil {
+		t.Fatalf("snapshot missing: %v", err)
+	}
+	s2 := open(t, dir, Options{})
+	assertSameVersion(t, s.View(), s2.View())
+}
+
+func TestSyncOption(t *testing.T) {
+	s := open(t, t.TempDir(), Options{Sync: true})
+	v, _ := apply(t, s, Mutation{Op: OpInsert, Values: []float64{1, 2}})
+	if v.Gen != 1 {
+		t.Fatalf("gen %d", v.Gen)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if _, _, err := s.Apply([]Mutation{{Op: OpInsert, Values: []float64{1, 2}}}); err == nil {
+		t.Fatal("apply after close accepted")
+	}
+}
+
+func assertSameVersion(t *testing.T, want, got *Version) {
+	t.Helper()
+	if want.Gen != got.Gen {
+		t.Fatalf("generation %d, want %d", got.Gen, want.Gen)
+	}
+	if !reflect.DeepEqual(want.IDs(), got.IDs()) {
+		t.Fatalf("ids %v, want %v", got.IDs(), want.IDs())
+	}
+	if !reflect.DeepEqual(want.Rows(), got.Rows()) {
+		t.Fatalf("rows differ")
+	}
+	if want.Dim() != got.Dim() {
+		t.Fatalf("dim %d, want %d", got.Dim(), want.Dim())
+	}
+}
+
+func TestApplyRecordsExported(t *testing.T) {
+	recs, nextID, dim, applied, err := ApplyRecords(nil, 0, 0, []Mutation{
+		{Op: OpInsert, Values: []float64{1, 2}},
+		{Op: OpInsert, Values: []float64{3, 4}},
+		{Op: OpUpdate, ID: 0, Values: []float64{5, 6}},
+		{Op: OpDelete, ID: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].ID != 0 || recs[0].Values[0] != 5 {
+		t.Fatalf("records %+v", recs)
+	}
+	if nextID != 2 || dim != 2 || len(applied) != 4 {
+		t.Fatalf("nextID=%d dim=%d applied=%d", nextID, dim, len(applied))
+	}
+	// The exported form never accepts pre-assigned insert ids.
+	if _, _, _, _, err := ApplyRecords(nil, 0, 0, []Mutation{{Op: OpInsert, ID: 5, Values: []float64{1, 2}}}); err == nil {
+		t.Fatal("pre-assigned insert id accepted outside replay")
+	}
+}
+
+func TestOpStringAndAccessors(t *testing.T) {
+	for op, want := range map[Op]string{OpInsert: "insert", OpUpdate: "update", OpDelete: "delete", Op(9): "Op(9)"} {
+		if got := op.String(); got != want {
+			t.Fatalf("Op(%d).String() = %q, want %q", op, got, want)
+		}
+	}
+	dir := t.TempDir()
+	s := open(t, dir, Options{})
+	if s.Dir() != dir {
+		t.Fatalf("Dir() = %q", s.Dir())
+	}
+	v, _ := apply(t, s, Mutation{Op: OpInsert, Values: []float64{1, 2}})
+	if recs := v.Records(); len(recs) != 1 || recs[0].ID != 0 {
+		t.Fatalf("Records() = %+v", recs)
+	}
+}
+
+// TestReloadChangesDimensionality pins the delete-all + insert-all reload
+// pattern: emptying the store mid-batch frees the dimensionality, so the
+// same atomic batch may re-establish a different one.
+func TestReloadChangesDimensionality(t *testing.T) {
+	s := open(t, t.TempDir(), Options{})
+	apply(t, s, Mutation{Op: OpInsert, Values: []float64{1, 2, 3}},
+		Mutation{Op: OpInsert, Values: []float64{4, 5, 6}})
+	v, _ := apply(t, s,
+		Mutation{Op: OpDelete, ID: 0},
+		Mutation{Op: OpDelete, ID: 1},
+		Mutation{Op: OpInsert, Values: []float64{1, 2, 3, 4}},
+		Mutation{Op: OpInsert, Values: []float64{5, 6, 7, 8}},
+	)
+	if v.Dim() != 4 || v.Len() != 2 {
+		t.Fatalf("after reload batch: dim=%d len=%d", v.Dim(), v.Len())
+	}
+	// And the mixed-dim batch without full emptying still fails.
+	if _, _, err := s.Apply([]Mutation{{Op: OpInsert, Values: []float64{1, 2}}}); err == nil {
+		t.Fatal("dim mismatch accepted")
+	}
+}

@@ -1,0 +1,289 @@
+// WAL frame and snapshot encoding. Both use the same primitive little-
+// endian layout; frames add a length+CRC header so a torn tail (crash
+// mid-append) is detected and truncated at recovery, and snapshots add a
+// whole-file CRC trailer so a half-written snapshot is never trusted.
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+)
+
+// snapMagic identifies snapshot files (8 bytes, versioned).
+const snapMagic = "KSPRSTO1"
+
+// maxFrame bounds a single WAL frame; larger claims mean corruption.
+const maxFrame = 1 << 30
+
+// ---- primitives ----------------------------------------------------------
+
+func putU32(b []byte, v uint32) []byte { return binary.LittleEndian.AppendUint32(b, v) }
+func putU64(b []byte, v uint64) []byte { return binary.LittleEndian.AppendUint64(b, v) }
+
+func putF64s(b []byte, vals []float64) []byte {
+	b = putU32(b, uint32(len(vals)))
+	for _, v := range vals {
+		b = putU64(b, math.Float64bits(v))
+	}
+	return b
+}
+
+type reader struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (r *reader) u32() uint32 {
+	if r.err != nil || r.off+4 > len(r.b) {
+		r.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(r.b[r.off:])
+	r.off += 4
+	return v
+}
+
+func (r *reader) u64() uint64 {
+	if r.err != nil || r.off+8 > len(r.b) {
+		r.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.b[r.off:])
+	r.off += 8
+	return v
+}
+
+func (r *reader) f64s() []float64 {
+	n := int(r.u32())
+	if r.err != nil || n < 0 || r.off+8*n > len(r.b) {
+		r.fail()
+		return nil
+	}
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = math.Float64frombits(r.u64())
+	}
+	return vals
+}
+
+func (r *reader) fail() {
+	if r.err == nil {
+		r.err = fmt.Errorf("store: truncated payload")
+	}
+}
+
+// ---- WAL frames ----------------------------------------------------------
+
+// encodeFrame renders one applied batch as a WAL frame:
+// [len u32][crc u32][payload], payload = gen u64, count u32, then per
+// mutation op u8, id u64, values (u32 count + f64 bits; absent for
+// deletes).
+func encodeFrame(gen uint64, applied []Applied) []byte {
+	payload := putU64(nil, gen)
+	payload = putU32(payload, uint32(len(applied)))
+	for _, a := range applied {
+		payload = append(payload, byte(a.Op))
+		payload = putU64(payload, uint64(a.ID))
+		if a.Op != OpDelete {
+			payload = putF64s(payload, a.Values)
+		}
+	}
+	frame := putU32(nil, uint32(len(payload)))
+	frame = putU32(frame, crc32.ChecksumIEEE(payload))
+	return append(frame, payload...)
+}
+
+// decodePayload parses a WAL frame payload into its generation and
+// mutation batch (insert ids pre-assigned, ready for replay).
+func decodePayload(payload []byte) (uint64, []Mutation, error) {
+	r := &reader{b: payload}
+	gen := r.u64()
+	n := int(r.u32())
+	if r.err != nil || n < 0 || n > len(payload) {
+		return 0, nil, fmt.Errorf("store: corrupt wal payload header")
+	}
+	muts := make([]Mutation, 0, n)
+	for i := 0; i < n; i++ {
+		if r.off >= len(r.b) {
+			return 0, nil, fmt.Errorf("store: corrupt wal payload (short mutation list)")
+		}
+		op := Op(r.b[r.off])
+		r.off++
+		id := int64(r.u64())
+		var vals []float64
+		if op != OpDelete {
+			vals = r.f64s()
+		}
+		if r.err != nil {
+			return 0, nil, r.err
+		}
+		muts = append(muts, Mutation{Op: op, ID: id, Values: vals})
+	}
+	if r.off != len(r.b) {
+		return 0, nil, fmt.Errorf("store: corrupt wal payload (trailing bytes)")
+	}
+	return gen, muts, nil
+}
+
+// replayWAL opens the WAL for appending, replaying every intact frame
+// whose generation exceeds ver's onto it. A torn or corrupt tail frame is
+// truncated away (the batch never finished committing); corruption before
+// the tail is an error. It returns the opened file positioned at the end,
+// the live size, the replayed batch count, and the recovered version.
+func replayWAL(path string, ver *Version, s *Store) (*os.File, int64, int, *Version, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, 0, 0, nil, fmt.Errorf("store: open wal: %w", err)
+	}
+	data, err := io.ReadAll(f)
+	if err != nil {
+		f.Close()
+		return nil, 0, 0, nil, fmt.Errorf("store: read wal: %w", err)
+	}
+	off, count := 0, 0
+	recs, nextID, dim := ver.recs, s.nextID, ver.dim
+	gen := ver.Gen
+	for off < len(data) {
+		frameStart := off
+		if off+8 > len(data) {
+			break // torn header
+		}
+		plen := int(binary.LittleEndian.Uint32(data[off:]))
+		crc := binary.LittleEndian.Uint32(data[off+4:])
+		if plen < 0 || plen > maxFrame || off+8+plen > len(data) {
+			break // torn payload
+		}
+		payload := data[off+8 : off+8+plen]
+		if crc32.ChecksumIEEE(payload) != crc {
+			if off+8+plen == len(data) {
+				break // torn tail: checksum never completed
+			}
+			f.Close()
+			return nil, 0, 0, nil, fmt.Errorf("store: wal corrupt at offset %d (bad crc mid-log)", frameStart)
+		}
+		fgen, muts, err := decodePayload(payload)
+		if err != nil {
+			f.Close()
+			return nil, 0, 0, nil, fmt.Errorf("store: wal frame at offset %d: %w", frameStart, err)
+		}
+		off += 8 + plen
+		if fgen <= gen {
+			continue // already covered by the snapshot
+		}
+		if fgen != gen+1 {
+			f.Close()
+			return nil, 0, 0, nil, fmt.Errorf("store: wal generation gap: have %d, frame carries %d", gen, fgen)
+		}
+		recs, nextID, dim, _, err = applyRecords(recs, nextID, dim, muts, true)
+		if err != nil {
+			f.Close()
+			return nil, 0, 0, nil, fmt.Errorf("store: wal replay at offset %d: %w", frameStart, err)
+		}
+		gen = fgen
+		count++
+	}
+	if off < len(data) {
+		// Drop the torn tail so future appends start from a clean frame
+		// boundary.
+		if err := f.Truncate(int64(off)); err != nil {
+			f.Close()
+			return nil, 0, 0, nil, fmt.Errorf("store: truncate torn wal tail: %w", err)
+		}
+	}
+	if _, err := f.Seek(int64(off), 0); err != nil {
+		f.Close()
+		return nil, 0, 0, nil, fmt.Errorf("store: seek wal: %w", err)
+	}
+	s.nextID = nextID
+	return f, int64(off), count, newVersion(gen, recs, dim), nil
+}
+
+// ---- snapshots -----------------------------------------------------------
+
+// writeSnapshot atomically replaces the snapshot file with the given
+// version: write to a temp file, fsync, rename, fsync the directory.
+func writeSnapshot(dir, path string, ver *Version, nextID int64) error {
+	b := []byte(snapMagic)
+	b = putU64(b, ver.Gen)
+	b = putU64(b, uint64(nextID))
+	b = putU32(b, uint32(ver.dim))
+	b = putU32(b, uint32(len(ver.recs)))
+	for _, r := range ver.recs {
+		b = putU64(b, uint64(r.ID))
+		b = putF64s(b, r.Values)
+	}
+	b = putU32(b, crc32.ChecksumIEEE(b))
+
+	tmp := filepath.Join(dir, "snapshot.tmp")
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(b); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return err
+	}
+	if d, err := os.Open(dir); err == nil {
+		d.Sync() // best-effort directory entry durability
+		d.Close()
+	}
+	return nil
+}
+
+// loadSnapshot reads the snapshot file, returning the empty generation-0
+// version when none exists. A snapshot that fails its CRC is an error —
+// the rename dance makes a half-written snapshot impossible under crash
+// semantics, so a bad checksum means real corruption.
+func loadSnapshot(path string) (*Version, int64, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return newVersion(0, nil, 0), 0, nil
+	}
+	if err != nil {
+		return nil, 0, fmt.Errorf("store: read snapshot: %w", err)
+	}
+	if len(data) < len(snapMagic)+4 || string(data[:len(snapMagic)]) != snapMagic {
+		return nil, 0, fmt.Errorf("store: snapshot has wrong magic")
+	}
+	body, trailer := data[:len(data)-4], data[len(data)-4:]
+	if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(trailer) {
+		return nil, 0, fmt.Errorf("store: snapshot checksum mismatch")
+	}
+	r := &reader{b: body, off: len(snapMagic)}
+	gen := r.u64()
+	nextID := int64(r.u64())
+	dim := int(r.u32())
+	n := int(r.u32())
+	if r.err != nil || n < 0 {
+		return nil, 0, fmt.Errorf("store: snapshot header corrupt")
+	}
+	recs := make([]Record, 0, n)
+	for i := 0; i < n; i++ {
+		id := int64(r.u64())
+		vals := r.f64s()
+		if r.err != nil {
+			return nil, 0, fmt.Errorf("store: snapshot record %d corrupt", i)
+		}
+		recs = append(recs, Record{ID: id, Values: vals})
+	}
+	if r.off != len(body) {
+		return nil, 0, fmt.Errorf("store: snapshot has trailing bytes")
+	}
+	return newVersion(gen, recs, dim), nextID, nil
+}

@@ -32,11 +32,14 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/geom"
 	"repro/internal/rtree"
+	"repro/internal/store"
 	"repro/internal/viz"
 )
 
@@ -80,10 +83,43 @@ type Result = core.Result
 // Stats are the query's side metrics; see core.Stats for field docs.
 type Stats = core.Stats
 
-// DB is an in-memory dataset indexed for kSPR and related rank-aware
-// queries. It is safe for concurrent readers once built.
+// DB is a dataset indexed for kSPR and related rank-aware queries. It is
+// safe for concurrent readers, and — since the live-dataset subsystem —
+// also for concurrent mutation: Apply advances the dataset one atomic
+// mutation batch (one generation) at a time while every in-flight query
+// keeps the immutable index snapshot it resolved at entry, so readers
+// never observe a torn dataset. Open builds a purely in-memory DB;
+// OpenStore binds one to a WAL-backed directory so mutations survive
+// crashes. Freeze pins an immutable handle on the current generation.
 type DB struct {
-	tree *rtree.Tree
+	st     atomic.Pointer[dbState]
+	frozen *dbState
+
+	mu       sync.Mutex // serializes Apply and the watcher registry
+	store    *store.Store
+	watchers map[int64]func(ApplyEvent)
+	nextW    int64
+	fanout   int
+}
+
+// dbState is one immutable generation of a DB: the index, the stable
+// option id behind each dense record index, and the id allocator's
+// watermark (in-memory path; store-backed DBs delegate id assignment).
+type dbState struct {
+	tree   *rtree.Tree // nil while the dataset is empty
+	gen    uint64
+	ids    []int64
+	nextID int64
+	dim    int
+}
+
+// cur resolves the state a read works against: the pinned generation for
+// frozen handles, the latest otherwise.
+func (db *DB) cur() *dbState {
+	if db.frozen != nil {
+		return db.frozen
+	}
+	return db.st.Load()
 }
 
 // DBOption configures Open.
@@ -123,18 +159,36 @@ func Open(records [][]float64, opts ...DBOption) (*DB, error) {
 	if err != nil {
 		return nil, fmt.Errorf("kspr: building index: %w", err)
 	}
-	return &DB{tree: tree}, nil
+	db := &DB{fanout: cfg.fanout}
+	ids := make([]int64, len(recs))
+	for i := range ids {
+		ids[i] = int64(i)
+	}
+	db.st.Store(&dbState{tree: tree, gen: 1, ids: ids, nextID: int64(len(recs)), dim: d})
+	return db, nil
 }
 
 // Len returns the number of records.
-func (db *DB) Len() int { return db.tree.Len() }
+func (db *DB) Len() int {
+	st := db.cur()
+	if st.tree == nil {
+		return 0
+	}
+	return st.tree.Len()
+}
 
-// Dim returns the attribute dimensionality d.
-func (db *DB) Dim() int { return db.tree.Dim }
+// Dim returns the attribute dimensionality d (0 while the dataset is
+// empty).
+func (db *DB) Dim() int { return db.cur().dim }
 
-// Record returns (a copy of) the record at id.
+// Record returns (a copy of) the record at dense index id, or nil when
+// the index is out of range (e.g. on an empty live dataset).
 func (db *DB) Record(id int) []float64 {
-	return geom.Vector(db.tree.Records[id]).Clone()
+	st := db.cur()
+	if st.tree == nil || id < 0 || id >= st.tree.Len() {
+		return nil
+	}
+	return geom.Vector(st.tree.Records[id]).Clone()
 }
 
 // QueryOption configures a kSPR query.
@@ -212,19 +266,21 @@ func WithParallelBounds() QueryOption {
 // KSPR answers the k-Shortlist Preference Region query for the dataset
 // record with index focalID.
 func (db *DB) KSPR(focalID, k int, opts ...QueryOption) (*Result, error) {
-	if focalID < 0 || focalID >= db.Len() {
+	st := db.cur()
+	if st.tree == nil || focalID < 0 || focalID >= st.tree.Len() {
 		return nil, fmt.Errorf("kspr: focal id %d out of range [0, %d)", focalID, db.Len())
 	}
-	return db.query(db.tree.Records[focalID], focalID, k, opts)
+	return db.query(st, st.tree.Records[focalID], focalID, k, opts)
 }
 
 // KSPRVector answers the query for a focal record that is not part of the
 // dataset (e.g. a hypothetical new option).
 func (db *DB) KSPRVector(focal []float64, k int, opts ...QueryOption) (*Result, error) {
-	return db.query(geom.Vector(focal), -1, k, opts)
+	return db.query(db.cur(), geom.Vector(focal), -1, k, opts)
 }
 
-func (db *DB) query(focal geom.Vector, focalID, k int, opts []QueryOption) (*Result, error) {
+// buildOptions folds query options over the library defaults.
+func buildOptions(k int, opts []QueryOption) core.Options {
 	o := core.Options{
 		K:                k,
 		Algorithm:        LPCTA,
@@ -233,7 +289,14 @@ func (db *DB) query(focal geom.Vector, focalID, k int, opts []QueryOption) (*Res
 	for _, f := range opts {
 		f(&o)
 	}
-	return core.Run(db.tree, focal, focalID, o)
+	return o
+}
+
+func (db *DB) query(st *dbState, focal geom.Vector, focalID, k int, opts []QueryOption) (*Result, error) {
+	if st.tree == nil {
+		return nil, fmt.Errorf("kspr: empty dataset")
+	}
+	return core.Run(st.tree, focal, focalID, buildOptions(k, opts))
 }
 
 // BatchQuery is one focal option of a KSPRBatch call. FocalID names a
@@ -305,6 +368,10 @@ func WithBatchNoShare() BatchOption {
 // one bad item cannot sink its siblings. The returned slice is indexed
 // like queries and independent of scheduling order.
 func (db *DB) KSPRBatch(queries []BatchQuery, k int, opts ...BatchOption) ([]BatchOutcome, error) {
+	st := db.cur()
+	if st.tree == nil {
+		return nil, fmt.Errorf("kspr: empty dataset")
+	}
 	b := core.BatchOptions{Options: core.Options{
 		K:                k,
 		Algorithm:        LPCTA,
@@ -320,7 +387,7 @@ func (db *DB) KSPRBatch(queries []BatchQuery, k int, opts ...BatchOption) ([]Bat
 			items[i].Focal = geom.Vector(q.Focal)
 		}
 	}
-	return core.RunBatch(db.tree, items, b)
+	return core.RunBatch(st.tree, items, b)
 }
 
 // ApproxResult is the outcome of the approximate kSPR query; see
@@ -340,10 +407,11 @@ func (db *DB) KSPRApprox(focalID, k int, epsilon float64) (*ApproxResult, error)
 // KSPRApproxCtx is KSPRApprox with cancellation: the refinement loop polls
 // ctx and returns ctx.Err() once it is done.
 func (db *DB) KSPRApproxCtx(ctx context.Context, focalID, k int, epsilon float64) (*ApproxResult, error) {
-	if focalID < 0 || focalID >= db.Len() {
+	st := db.cur()
+	if st.tree == nil || focalID < 0 || focalID >= st.tree.Len() {
 		return nil, fmt.Errorf("kspr: focal id %d out of range [0, %d)", focalID, db.Len())
 	}
-	return core.RunApprox(db.tree, db.tree.Records[focalID], focalID,
+	return core.RunApprox(st.tree, st.tree.Records[focalID], focalID,
 		core.ApproxOptions{K: k, Epsilon: epsilon, Ctx: ctx})
 }
 
@@ -354,7 +422,11 @@ func (db *DB) KSPRApproxVector(focal []float64, k int, epsilon float64) (*Approx
 
 // KSPRApproxVectorCtx is KSPRApproxVector with cancellation.
 func (db *DB) KSPRApproxVectorCtx(ctx context.Context, focal []float64, k int, epsilon float64) (*ApproxResult, error) {
-	return core.RunApprox(db.tree, geom.Vector(focal), -1,
+	st := db.cur()
+	if st.tree == nil {
+		return nil, fmt.Errorf("kspr: empty dataset")
+	}
+	return core.RunApprox(st.tree, geom.Vector(focal), -1,
 		core.ApproxOptions{K: k, Epsilon: epsilon, Ctx: ctx})
 }
 
@@ -371,23 +443,44 @@ func WriteSVG(w io.Writer, res *Result, opts SVGOptions) error {
 // TopK returns the ids of the k best records under original-space weights
 // w (len d, need not be normalized), best first.
 func (db *DB) TopK(w []float64, k int) []int {
-	return db.tree.TopK(geom.Vector(w), k, nil)
+	st := db.cur()
+	if st.tree == nil {
+		return nil
+	}
+	return st.tree.TopK(geom.Vector(w), k, nil)
 }
 
 // Skyline returns the ids of the records dominated by no other.
-func (db *DB) Skyline() []int { return db.tree.Skyline(nil) }
+func (db *DB) Skyline() []int {
+	st := db.cur()
+	if st.tree == nil {
+		return nil
+	}
+	return st.tree.Skyline(nil)
+}
 
 // KSkyband returns the ids of records dominated by fewer than k others.
-func (db *DB) KSkyband(k int) []int { return db.tree.KSkyband(k, nil) }
+func (db *DB) KSkyband(k int) []int {
+	st := db.cur()
+	if st.tree == nil {
+		return nil
+	}
+	return st.tree.KSkyband(k, nil)
+}
 
 // Rank computes the rank of record focalID under weights w (1 = best);
-// ties with other records are ignored, as in the paper.
+// ties with other records are ignored, as in the paper. An out-of-range
+// focalID (e.g. on an empty live dataset) yields 0.
 func (db *DB) Rank(focalID int, w []float64) int {
+	tree := db.cur().tree
+	if tree == nil || focalID < 0 || focalID >= tree.Len() {
+		return 0
+	}
 	wv := geom.Vector(w)
-	focal := db.tree.Records[focalID]
+	focal := tree.Records[focalID]
 	ps := focal.Dot(wv)
 	rank := 1
-	for id, rec := range db.tree.Records {
+	for id, rec := range tree.Records {
 		if id == focalID || rec.Equal(focal) {
 			continue
 		}
@@ -402,6 +495,11 @@ func (db *DB) Rank(focalID int, w []float64) int {
 // is shortlisted for a uniformly random preference vector: the measure of
 // the result regions relative to the whole preference space (§1's market
 // impact measure). It samples uniformly from the weight simplex.
+//
+// Contract: samples must be positive — it is the Monte-Carlo sample count
+// and the estimate's accuracy is O(1/sqrt(samples)). A non-positive
+// samples (or a nil res) yields 0, never NaN; callers wanting a default
+// should pass their own (the CLIs use 10000–100000).
 func (db *DB) ImpactProbability(res *Result, samples int, seed int64) float64 {
 	return db.ImpactProbabilityPDF(res, nil, samples, seed)
 }
@@ -409,10 +507,11 @@ func (db *DB) ImpactProbability(res *Result, samples int, seed int64) float64 {
 // ImpactProbabilityPDF generalizes ImpactProbability to a known preference
 // density: pdf receives original-space weights (length d, summing to 1) and
 // returns a non-negative (not necessarily normalized) density. A nil pdf
-// means uniform.
+// means uniform. It shares ImpactProbability's contract: samples <= 0 (or
+// a nil res) returns 0.
 func (db *DB) ImpactProbabilityPDF(res *Result, pdf func(w []float64) float64, samples int, seed int64) float64 {
-	if samples <= 0 {
-		samples = 10000
+	if res == nil || samples <= 0 {
+		return 0
 	}
 	rng := rand.New(rand.NewSource(seed))
 	d := db.Dim()

@@ -1,0 +1,217 @@
+// Command crashsmoke is the CI crash-recovery smoke test: it builds
+// ksprd, starts it with a WAL-backed store, loads a dataset, streams
+// mutations at it, SIGKILLs the daemon mid-stream, restarts it over the
+// same store directory, and asserts the recovered dataset is at exactly
+// the last acknowledged generation with the matching record count. It
+// uses only the Go toolchain and net/http (no curl/jq), so `make ci`
+// works on minimal machines.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"syscall"
+	"time"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "crashsmoke: FAILED:", err)
+		os.Exit(1)
+	}
+	fmt.Println("crashsmoke: OK")
+}
+
+func run() error {
+	work, err := os.MkdirTemp("", "crashsmoke-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(work)
+	bin := filepath.Join(work, "ksprd")
+	storeDir := filepath.Join(work, "stores")
+
+	build := exec.Command("go", "build", "-o", bin, "./cmd/ksprd")
+	build.Stdout, build.Stderr = os.Stdout, os.Stderr
+	if err := build.Run(); err != nil {
+		return fmt.Errorf("building ksprd: %w", err)
+	}
+
+	addr, err := freeAddr()
+	if err != nil {
+		return err
+	}
+	base := "http://" + addr
+
+	// ---- first life: load, mutate, crash ----------------------------------
+	daemon, err := startDaemon(bin, addr, storeDir)
+	if err != nil {
+		return err
+	}
+	defer daemon.Process.Kill()
+
+	if err := post(base+"/v1/datasets", map[string]any{
+		"name":     "smoke",
+		"generate": map[string]any{"dist": "IND", "n": 400, "d": 3, "seed": 42},
+	}, nil); err != nil {
+		return fmt.Errorf("loading dataset: %w", err)
+	}
+
+	// Stream mutations; remember the last ACKNOWLEDGED store generation and
+	// record count — that is exactly what recovery must restore, no matter
+	// where the kill lands relative to unacknowledged work.
+	type mutateAck struct {
+		StoreGeneration uint64 `json:"store_generation"`
+		Records         int    `json:"records"`
+	}
+	var last mutateAck
+	for i := 0; i < 25; i++ {
+		var ack mutateAck
+		err := post(base+"/v1/datasets/smoke:mutate", map[string]any{
+			"op":     "insert",
+			"values": []float64{0.1 + float64(i%9)*0.1, 0.5, 0.3},
+		}, &ack)
+		if err != nil {
+			return fmt.Errorf("mutation %d: %w", i, err)
+		}
+		last = ack
+	}
+
+	// SIGKILL mid-WAL: no shutdown hooks, no flushes beyond what Apply
+	// already acknowledged.
+	if err := daemon.Process.Kill(); err != nil {
+		return fmt.Errorf("killing daemon: %w", err)
+	}
+	daemon.Wait()
+
+	// ---- second life: recover and verify ----------------------------------
+	addr2, err := freeAddr()
+	if err != nil {
+		return err
+	}
+	base = "http://" + addr2
+	daemon2, err := startDaemon(bin, addr2, storeDir)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		daemon2.Process.Signal(syscall.SIGTERM)
+		daemon2.Wait()
+	}()
+
+	var infos []struct {
+		Name            string `json:"name"`
+		StoreGeneration uint64 `json:"store_generation"`
+		Records         int    `json:"records"`
+		Durable         bool   `json:"durable"`
+	}
+	if err := get(base+"/v1/datasets", &infos); err != nil {
+		return fmt.Errorf("listing recovered datasets: %w", err)
+	}
+	if len(infos) != 1 || infos[0].Name != "smoke" {
+		return fmt.Errorf("recovered datasets = %+v, want exactly [smoke]", infos)
+	}
+	got := infos[0]
+	if !got.Durable {
+		return fmt.Errorf("recovered dataset not marked durable")
+	}
+	if got.StoreGeneration != last.StoreGeneration {
+		return fmt.Errorf("recovered store generation %d, want pre-crash %d", got.StoreGeneration, last.StoreGeneration)
+	}
+	if got.Records != last.Records {
+		return fmt.Errorf("recovered %d records, want pre-crash %d", got.Records, last.Records)
+	}
+
+	// The recovered dataset must serve queries and accept new mutations.
+	var q struct {
+		Regions []any `json:"regions"`
+	}
+	if err := post(base+"/v1/kspr", map[string]any{"dataset": "smoke", "focal": 3, "k": 5}, &q); err != nil {
+		return fmt.Errorf("query after recovery: %w", err)
+	}
+	var ack mutateAck
+	if err := post(base+"/v1/datasets/smoke:mutate", map[string]any{
+		"op": "insert", "values": []float64{0.9, 0.9, 0.9},
+	}, &ack); err != nil {
+		return fmt.Errorf("mutation after recovery: %w", err)
+	}
+	if ack.StoreGeneration != last.StoreGeneration+1 {
+		return fmt.Errorf("post-recovery generation %d, want %d", ack.StoreGeneration, last.StoreGeneration+1)
+	}
+	fmt.Printf("crashsmoke: killed at store generation %d with %d records; recovery matched exactly\n",
+		last.StoreGeneration, last.Records)
+	return nil
+}
+
+// startDaemon launches ksprd and waits for /healthz.
+func startDaemon(bin, addr, storeDir string) (*exec.Cmd, error) {
+	cmd := exec.Command(bin, "-addr", addr, "-store-dir", storeDir)
+	cmd.Stdout, cmd.Stderr = os.Stdout, os.Stderr
+	if err := cmd.Start(); err != nil {
+		return nil, fmt.Errorf("starting ksprd: %w", err)
+	}
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get("http://" + addr + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return cmd, nil
+			}
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	cmd.Process.Kill()
+	return nil, fmt.Errorf("ksprd did not become healthy on %s", addr)
+}
+
+// freeAddr reserves a loopback port.
+func freeAddr() (string, error) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", err
+	}
+	addr := l.Addr().String()
+	l.Close()
+	return addr, nil
+}
+
+func post(url string, body any, out any) error {
+	raw, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("POST %s: status %d: %s", url, resp.StatusCode, data)
+	}
+	if out != nil {
+		return json.Unmarshal(data, out)
+	}
+	return nil
+}
+
+func get(url string, out any) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: status %d: %s", url, resp.StatusCode, data)
+	}
+	return json.Unmarshal(data, out)
+}
