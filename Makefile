@@ -15,13 +15,15 @@ race:
 # and with a 4-worker engine, plus the speedup ratio, plus the shared-work
 # batch sweep (8 focals as one KSPRBatch pass vs 8 serial runs), plus the
 # live-dataset sweep (WAL apply throughput and incremental-vs-cold kSPR
-# maintenance over 48 mutations) — the perf trajectory successive PRs diff
+# maintenance over 48 mutations), plus the what-if sweep (a 16-point
+# impact-price frontier and a repricing bisection, recording probe latency
+# and the incremental keep rate) — the perf trajectory successive PRs diff
 # against. -parallel and -batch are pinned so the file's schema does not
 # depend on the host's core count (the recorded "cpus" field tells you how
 # much hardware the speedups had to work with; on a 1-CPU container both
 # hover near 1.0x by physics).
 bench:
-	$(GO) run ./cmd/ksprbench -json -name core -scale 0.5 -queries 3 -parallel 4 -batch 8 -mutate 48
+	$(GO) run ./cmd/ksprbench -json -name core -scale 0.5 -queries 3 -parallel 4 -batch 8 -mutate 48 -whatif 16
 
 fmt:
 	gofmt -l .

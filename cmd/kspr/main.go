@@ -15,6 +15,7 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -40,17 +41,45 @@ func main() {
 		seed     = flag.Int64("seed", 1, "seed for volume estimation")
 		par      = flag.Int("parallelism", 0, "query engine goroutines (0 = all cores, 1 = serial)")
 		mutate   = flag.Int("mutate", 0, "live-dataset demo: apply this many random mutations while incrementally maintaining the -focal query")
+		focalVec = flag.String("focal-vec", "", "comma-separated attribute vector: query a hypothetical record instead of -focal")
+		whatif   = flag.Bool("whatif", false, "competitive what-if panel for -focal: competitor attribution, repricing search, impact-price frontier")
+		attr     = flag.Int("attr", 0, "attribute index the what-if panel reprices")
+		target   = flag.Float64("target", 0.5, "target impact probability for the what-if repricing search")
+		steps    = flag.Int("steps", 8, "grid size of the what-if frontier sweep")
+		samples  = flag.Int("samples", 20000, "Monte-Carlo samples behind impact estimates")
 	)
 	flag.Parse()
-	if *dataPath == "" {
-		fmt.Fprintln(os.Stderr, "kspr: -data is required")
+	usageErr := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "kspr: "+format+"\n", args...)
 		flag.Usage()
 		os.Exit(2)
 	}
+	if *dataPath == "" {
+		usageErr("-data is required")
+	}
 	if *par < 0 {
-		fmt.Fprintf(os.Stderr, "kspr: -parallelism must be >= 0 (0 = all cores), got %d\n", *par)
-		flag.Usage()
-		os.Exit(2)
+		usageErr("-parallelism must be >= 0 (0 = all cores), got %d", *par)
+	}
+	if *mutate < 0 {
+		usageErr("-mutate must be >= 0, got %d", *mutate)
+	}
+	if *whatif && *focals != "" {
+		usageErr("-whatif analyzes a single -focal; it conflicts with a -focals panel")
+	}
+	if *whatif && (*mutate > 0 || *svgPath != "" || *focalVec != "") {
+		usageErr("-whatif works with a single -focal and no -mutate/-svg/-focal-vec")
+	}
+	if *whatif && *asJSON {
+		usageErr("-whatif prints a text panel; it does not support -json yet")
+	}
+	if *focalVec != "" && (*focals != "" || *mutate > 0 || *svgPath != "") {
+		usageErr("-focal-vec queries a hypothetical record; it conflicts with -focals/-mutate/-svg")
+	}
+	if *samples < 1 {
+		usageErr("-samples must be >= 1, got %d", *samples)
+	}
+	if *steps < 2 {
+		usageErr("-steps must be >= 2, got %d", *steps)
 	}
 
 	f, err := os.Open(*dataPath)
@@ -109,6 +138,34 @@ func main() {
 		return
 	}
 
+	if *focalVec != "" {
+		vec, err := parseVector(*focalVec, db.Dim())
+		if err != nil {
+			usageErr("%v", err)
+		}
+		res, err := db.KSPRVector(vec, *k, opts...)
+		if err != nil {
+			fatal(err)
+		}
+		if *asJSON {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(res); err != nil {
+				fatal(err)
+			}
+			return
+		}
+		fmt.Printf("kSPR for hypothetical record %.4f, k=%d, %d records, d=%d\n",
+			vec, *k, db.Len(), db.Dim())
+		printRegions(res, *volumes)
+		return
+	}
+
+	if *whatif {
+		runWhatIf(db, ds, panel[0], *k, *attr, *target, *steps, *samples, *seed, opts)
+		return
+	}
+
 	if len(panel) > 1 {
 		if *svgPath != "" {
 			fmt.Fprintln(os.Stderr, "kspr: -svg works with a single -focal, not a -focals panel")
@@ -156,22 +213,120 @@ func main() {
 	}
 	fmt.Printf("kSPR for %s, k=%d, %d records, d=%d\n", name, *k, db.Len(), db.Dim())
 	fmt.Printf("focal attributes: %.4f\n", db.Record(*focal))
+	printRegions(res, *volumes)
+	if *volumes {
+		fmt.Printf("impact probability (uniform preferences): %.4f\n", db.ImpactProbability(res, 100000, *seed))
+	}
+}
+
+// printRegions renders a result's regions as text.
+func printRegions(res *kspr.Result, volumes bool) {
 	fmt.Printf("%d regions; stats: processed=%d nodes=%d batches=%d baseRank=%d elapsed=%v\n",
 		len(res.Regions), res.Stats.ProcessedRecords, res.Stats.CellTreeNodes,
 		res.Stats.Batches, res.Stats.BaseRank, res.Stats.Elapsed)
 	for i, reg := range res.Regions {
 		fmt.Printf("region %d: rank=%d exact=%v witness=%.4f", i, reg.Rank, reg.RankExact, reg.Witness)
-		if *volumes {
+		if volumes {
 			fmt.Printf(" volume=%.6f", reg.Volume)
+		}
+		if len(reg.Outscorers) > 0 {
+			fmt.Printf(" outscored-by=%v", reg.Outscorers)
 		}
 		fmt.Println()
 		for _, v := range reg.Vertices {
 			fmt.Printf("    vertex %.4f\n", v)
 		}
 	}
-	if *volumes {
-		fmt.Printf("impact probability (uniform preferences): %.4f\n", db.ImpactProbability(res, 100000, *seed))
+}
+
+// parseVector parses a comma-separated attribute vector and validates its
+// dimensionality against the dataset.
+func parseVector(spec string, dim int) ([]float64, error) {
+	parts := strings.Split(spec, ",")
+	vec := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		f, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, fmt.Errorf("invalid -focal-vec entry %q", p)
+		}
+		vec = append(vec, f)
 	}
+	if len(vec) != dim {
+		return nil, fmt.Errorf("-focal-vec has %d attributes, dataset has %d", len(vec), dim)
+	}
+	return vec, nil
+}
+
+// recordName labels a record for panel output.
+func recordName(ds *dataset.Dataset, id int) string {
+	if id >= 0 && id < len(ds.Labels) && ds.Labels[id] != "" {
+		return fmt.Sprintf("%s (record %d)", ds.Labels[id], id)
+	}
+	return fmt.Sprintf("record %d", id)
+}
+
+// runWhatIf prints the competitive what-if panel for one focal option:
+// who takes its preference space, the cheapest reprice reaching the
+// target impact, and the impact-price frontier over the swept attribute.
+func runWhatIf(db *kspr.DB, ds *dataset.Dataset, focal, k, attr int, target float64,
+	steps, samples int, seed int64, opts []kspr.QueryOption) {
+	fmt.Printf("what-if panel for %s, k=%d, %d records, d=%d\n",
+		recordName(ds, focal), k, db.Len(), db.Dim())
+	fmt.Printf("focal attributes: %.4f\n\n", db.Record(focal))
+
+	attrib, err := db.Competitors(focal, k, samples, seed, opts...)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("impact probability: %.4f (misses top-%d on %.4f of preference space)\n",
+		attrib.Impact, k, attrib.Miss)
+	if len(attrib.Competitors) > 0 {
+		fmt.Println("top competitors (miss share = space they take, pressure = outranking inside your regions):")
+		limit := len(attrib.Competitors)
+		if limit > 8 {
+			limit = 8
+		}
+		for _, c := range attrib.Competitors[:limit] {
+			fmt.Printf("  %-32s miss=%.4f pressure=%.4f\n", recordName(ds, c.ID), c.MissShare, c.PressureShare)
+		}
+	}
+
+	fmt.Printf("\nrepricing attribute %d to reach impact %.2f:\n", attr, target)
+	rp, err := db.PriceToTarget(focal, k, kspr.RepriceSpec{
+		Attr: attr, Target: target, Samples: samples, Seed: seed,
+	}, opts...)
+	switch {
+	case err != nil && errors.Is(err, kspr.ErrTargetUnreachable):
+		fmt.Printf("  unreachable: best achieved impact %.4f at delta %g\n", rp.Impact, rp.Delta)
+	case err != nil:
+		fatal(err)
+	case rp.AlreadyMet:
+		fmt.Printf("  already met: baseline impact %.4f >= target\n", rp.Baseline)
+	default:
+		fmt.Printf("  minimal change: %+.4f (value %.4f -> %.4f), impact %.4f -> %.4f\n",
+			rp.Delta, rp.Value-rp.Delta, rp.Value, rp.Baseline, rp.Impact)
+		fmt.Printf("  probes: %d (%d kept by the incremental path, keep rate %.0f%%)\n",
+			rp.Stats.Probes, rp.Stats.Kept, 100*rp.Stats.KeepRate)
+	}
+
+	fmt.Printf("\nimpact-price frontier over attribute %d (%d points):\n", attr, steps)
+	curve, err := db.Frontier(focal, k, kspr.FrontierSpec{
+		Attr: attr, Steps: steps, Samples: samples, Seed: seed,
+	}, opts...)
+	if err != nil {
+		fatal(err)
+	}
+	for _, p := range curve.Points {
+		marker := ""
+		if p.Kept {
+			marker = "  (classified empty, no engine run)"
+		}
+		fmt.Printf("  value %8.4f  delta %+8.4f  impact %.4f  regions %3d%s\n",
+			p.Value, p.Delta, p.Impact, p.Regions, marker)
+	}
+	fmt.Printf("  probes: %d, kept %d (keep rate %.0f%%), avg %.2fms/probe\n",
+		curve.Stats.Probes, curve.Stats.Kept, 100*curve.Stats.KeepRate,
+		float64(curve.Stats.ProbeNs)/1e6)
 }
 
 // parseFocals resolves the -focal / -focals flags into the panel of focal

@@ -57,6 +57,7 @@ func main() {
 		par     = flag.Int("parallel", 0, "parallel sweep worker count for -json (0 = all cores, 1 = skip the sweep)")
 		batch   = flag.Int("batch", 0, "batch sweep focal count for -json (0 = skip, otherwise >= 2)")
 		mutN    = flag.Int("mutate", 0, "mutation sweep size for -json: WAL apply throughput + incremental-vs-cold maintenance over this many mutations (0 = skip)")
+		whatN   = flag.Int("whatif", 0, "what-if sweep for -json: an impact-price frontier of this many grid points plus a repricing search, recording whatif_probe_ns and whatif_keep_rate (0 = skip, otherwise >= 2)")
 	)
 	flag.Parse()
 
@@ -81,9 +82,14 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	if *whatN < 0 || *whatN == 1 {
+		fmt.Fprintf(os.Stderr, "ksprbench: -whatif must be 0 (skip) or >= 2 grid points, got %d\n", *whatN)
+		flag.Usage()
+		os.Exit(2)
+	}
 
 	if *asJSON {
-		if err := runBenchJSON(*name, *dist, *dims, *kFlag, *scale, *queries, *seed, *par, *batch, *mutN); err != nil {
+		if err := runBenchJSON(*name, *dist, *dims, *kFlag, *scale, *queries, *seed, *par, *batch, *mutN, *whatN); err != nil {
 			fmt.Fprintln(os.Stderr, "ksprbench:", err)
 			os.Exit(1)
 		}
@@ -175,13 +181,24 @@ type benchSummary struct {
 	IncrementalSpeedup    float64 `json:"incremental_speedup,omitempty"`
 	IncrementalKept       uint64  `json:"incremental_kept,omitempty"`
 	IncrementalRecomputed uint64  `json:"incremental_recomputed,omitempty"`
+	// What-if sweep (-whatif N): an N-point impact-price frontier for a
+	// skyband focal (grid spanning dominated through competitive prices)
+	// plus one repricing bisection. WhatIfProbeNs is the frontier's average
+	// wall-clock per grid probe, WhatIfKeepRate the fraction of probes the
+	// incremental classification answered without an engine run (the gate
+	// asserts it stays > 0), and WhatIfPriceNs the full bisection search.
+	WhatIfPoints   int     `json:"whatif_points,omitempty"`
+	WhatIfProbeNs  int64   `json:"whatif_probe_ns,omitempty"`
+	WhatIfKeepRate float64 `json:"whatif_keep_rate,omitempty"`
+	WhatIfKept     int     `json:"whatif_kept,omitempty"`
+	WhatIfPriceNs  int64   `json:"whatif_price_ns,omitempty"`
 }
 
 // runBenchJSON times every algorithm on one synthetic workload — serially,
 // unless par == 1 again on a par-worker engine, and with nb > 0 as an
 // nb-focal batch versus nb serial runs — and writes the ns/op summary to
 // BENCH_<name>.json in the working directory.
-func runBenchJSON(name, dist string, d, k int, scale float64, queries int, seed int64, par, nb, nm int) error {
+func runBenchJSON(name, dist string, d, k int, scale float64, queries int, seed int64, par, nb, nm, nw int) error {
 	n := int(2000 * scale)
 	if n < 100 {
 		n = 100
@@ -322,6 +339,12 @@ func runBenchJSON(name, dist string, d, k int, scale float64, queries int, seed 
 		}
 	}
 
+	if nw > 1 {
+		if err := runWhatIfSweep(&sum, db, band, k, seed, nw); err != nil {
+			return err
+		}
+	}
+
 	// The approximate query is part of the serving surface; track it too.
 	start := time.Now()
 	for _, f := range focals {
@@ -352,6 +375,55 @@ func writeBenchFile(out string, sum *benchSummary, dist string, n, d, k, queries
 		return err
 	}
 	fmt.Printf("wrote %s (%s n=%d d=%d k=%d, %d queries)\n", out, dist, n, d, k, queries)
+	return nil
+}
+
+// runWhatIfSweep measures the what-if layer: one nw-point impact-price
+// frontier plus one full repricing bisection against the maintained
+// scratch dataset. The focal is a DOMINATED record (outside the
+// k-skyband) — the realistic seller asking what reprice would make the
+// option competitive — so the grid's low end is provably empty and
+// answered by the incremental classification without an engine run: the
+// recorded keep rate reflects the fast path actually firing, and the
+// bench gate fails if it ever drops to zero.
+func runWhatIfSweep(sum *benchSummary, db *kspr.DB, band []int, k int, seed int64, nw int) error {
+	inBand := make(map[int]bool, len(band))
+	for _, id := range band {
+		inBand[id] = true
+	}
+	focal := -1
+	for id := 0; id < db.Len(); id++ {
+		if !inBand[id] {
+			focal = id
+			break
+		}
+	}
+	if focal < 0 {
+		focal = band[len(band)/2] // every record is in the skyband: degenerate but valid
+	}
+	curve, err := db.Frontier(focal, k, kspr.FrontierSpec{
+		Attr: 0, Min: 0.02, Max: 1.3, Steps: nw, Samples: 5000, Seed: seed,
+	}, kspr.WithoutGeometry())
+	if err != nil {
+		return fmt.Errorf("what-if frontier: %w", err)
+	}
+	sum.WhatIfPoints = nw
+	sum.WhatIfProbeNs = curve.Stats.ProbeNs
+	sum.WhatIfKeepRate = curve.Stats.KeepRate
+	sum.WhatIfKept = curve.Stats.Kept
+	fmt.Printf("%-10s %12d ns/probe (frontier of %d, keep rate %.0f%%)\n",
+		"whatif", curve.Stats.ProbeNs, nw, 100*curve.Stats.KeepRate)
+
+	start := time.Now()
+	rp, err := db.PriceToTarget(focal, k, kspr.RepriceSpec{
+		Attr: 0, Target: 0.3, Eps: 1e-3, Samples: 5000, Seed: seed,
+	}, kspr.WithoutGeometry())
+	if err != nil {
+		return fmt.Errorf("what-if reprice: %w", err)
+	}
+	sum.WhatIfPriceNs = time.Since(start).Nanoseconds()
+	fmt.Printf("%-10s %12d ns/search (%d probes, %d kept, delta %+.4f -> impact %.4f)\n",
+		"reprice", sum.WhatIfPriceNs, rp.Stats.Probes, rp.Stats.Kept, rp.Delta, rp.Impact)
 	return nil
 }
 

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"sort"
+
 	"repro/internal/celltree"
 	"repro/internal/lp"
 	"repro/internal/polytope"
@@ -27,6 +29,7 @@ func (r *runner) buildRegion(p pendingRegion, index int, lpStats *lp.Stats) (Reg
 	region := Region{
 		Constraints: r.ct.PathConstraints(p.leaf),
 		Witness:     p.leaf.WStar,
+		Outscorers:  r.outscorers(p.leaf),
 		Rank:        p.rank,
 		RankExact:   p.exact,
 	}
@@ -50,6 +53,25 @@ func (r *runner) buildRegion(p pendingRegion, index int, lpStats *lp.Stats) (Reg
 		}
 	}
 	return region, nil
+}
+
+// outscorers collects the dataset record ids proven to strictly outscore
+// the focal record throughout the leaf's cell: the focal's global
+// dominators (they outrank it everywhere) plus every record contributing a
+// positive halfspace to the leaf's path — the cell-tree facts Rank counts
+// (Lemma 1), so for an exact-rank leaf the set has exactly rank-1 members.
+// The ids are ascending; dominators and positive-halfspace records are
+// disjoint because dominators are excluded from hyperplane processing.
+func (r *runner) outscorers(leaf *celltree.Node) []int {
+	np := r.ct.NonPivots(leaf)
+	if len(np) == 0 && len(r.domIDs) == 0 {
+		return nil
+	}
+	out := make([]int, 0, len(r.domIDs)+len(np))
+	out = append(out, r.domIDs...)
+	out = append(out, np...)
+	sort.Ints(out)
+	return out
 }
 
 // appendRegion adds a finished region to the result and fires the

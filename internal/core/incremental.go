@@ -144,9 +144,11 @@ func (s *FocalState) Unaffected(deltas []Delta) bool {
 
 // MaintStats counts a Maintainer's generation-by-generation decisions.
 type MaintStats struct {
-	// Kept counts generations whose mutations were classified irrelevant,
-	// the prior result revalidated and reused; Recomputed counts cold
-	// reruns. Generations is their sum.
+	// Kept counts generations absorbed without an engine run: mutations
+	// classified irrelevant with the prior result revalidated and reused,
+	// or — after a focal reprice — the result proven empty by the
+	// dominator-count shortcut. Recomputed counts cold reruns. Generations
+	// is their sum.
 	Kept, Recomputed, Generations uint64
 }
 
@@ -208,6 +210,25 @@ func (m *Maintainer) Apply(tree *rtree.Tree, focalID int, deltas []Delta) (*Resu
 		// even a sub-epsilon reprice changes the cold recompute's bytes).
 		if !ExactlyEqual(tree.Records[focalID], focal) {
 			focal = tree.Records[focalID]
+			// Reprice shortcut: when the repriced focal has at least K
+			// strict dominators in the new tree, the cold recompute is
+			// provably the empty result (kAdj <= 0 short-circuits before any
+			// cell-tree work), so synthesize it — byte-identical under
+			// EncodeResult — instead of running the engine. This is the keep
+			// path what-if reprice probes hit while the probed price is
+			// still hopeless. The other deltas in the batch need no
+			// classification: emptiness is determined by the new tree alone.
+			doms := tree.Dominators(focal, func(id int) bool { return id == focalID })
+			if len(doms) >= m.opts.K {
+				res := &Result{Focal: focal.Clone(), K: m.opts.K, Space: m.opts.Space}
+				res.Stats.BaseRank = len(doms)
+				m.stats.Generations++
+				m.stats.Kept++
+				m.tree, m.focalID = tree, focalID
+				m.state = NewFocalState(tree, focal, focalID, m.opts.K, m.opts.Algorithm)
+				m.res = res
+				return res, false, nil
+			}
 			recompute = true
 		}
 	}
@@ -236,8 +257,12 @@ func (m *Maintainer) Apply(tree *rtree.Tree, focalID int, deltas []Delta) (*Resu
 // vertices, and volume — as a canonical byte string. Two results encode
 // identically iff they answer the same query with the same regions in the
 // same order; Stats and timing are deliberately excluded (they describe
-// the computation, not the answer). Incremental-maintenance tests compare
-// kept results against cold recomputes with it.
+// the computation, not the answer), and so are Region.Outscorers — dense
+// record ids are relative to the generation the result was computed on,
+// and a kept result may legitimately carry the previous generation's ids
+// after an id-shifting (but result-preserving) delete.
+// Incremental-maintenance tests compare kept results against cold
+// recomputes with it.
 func EncodeResult(res *Result) []byte {
 	var b bytes.Buffer
 	w := func(vals ...uint64) {

@@ -148,6 +148,17 @@ type Region struct {
 	Vertices []geom.Vector
 	// Witness is a strictly interior weight vector of the region.
 	Witness geom.Vector
+	// Outscorers are the dataset record ids (dense indexes of the
+	// generation the query ran against, ascending) proven to strictly
+	// outscore the focal record throughout the region: the focal's global
+	// dominators plus every record whose hyperplane covers the region on
+	// the positive side. When RankExact is true the set is complete —
+	// len(Outscorers) == Rank-1 — so it names exactly the competitors that
+	// push the focal down to Rank here; for early-reported regions it is
+	// the proven subset the look-ahead bound had seen. The what-if layer's
+	// competitor attribution aggregates these per-region facts instead of
+	// recomputing dominance.
+	Outscorers []int
 	// Rank is the rank of the focal record in the region. When RankExact is
 	// false (early-reported cells), Rank is an upper bound and the region
 	// may span cells of several ranks, all within K.

@@ -81,6 +81,7 @@ type runner struct {
 
 	// dominance filtering (§3.1)
 	baseRank int          // records dominating focal: they outrank it everywhere
+	domIDs   []int        // the dominators themselves (ascending), for Region.Outscorers
 	kAdj     int          // K - baseRank: threshold inside the CellTree
 	skip     map[int]bool // records excluded from hyperplane processing
 	// rankSkip excludes records that can never outscore focal from rank
@@ -155,6 +156,7 @@ func (r *runner) run() (*Result, error) {
 	ties := r.tree.EqualTo(r.focal, excludeFocal)
 
 	r.baseRank = len(dominators)
+	r.domIDs = dominators
 	r.kAdj = r.opts.K - r.baseRank
 	r.result = &Result{Focal: r.focal.Clone(), K: r.opts.K, Space: r.opts.Space}
 	r.result.Stats.BaseRank = r.baseRank

@@ -51,11 +51,15 @@ type queryRequest struct {
 	Space       string    `json:"space,omitempty"`     // transformed | original
 	Bounds      string    `json:"bounds,omitempty"`    // fast | group | record
 	Epsilon     float64   `json:"epsilon,omitempty"`   // approx accuracy target
-	Volumes     bool      `json:"volumes,omitempty"`
-	NoGeometry  bool      `json:"no_geometry,omitempty"`
-	Seed        int64     `json:"seed,omitempty"`
-	TimeoutMs   int       `json:"timeout_ms,omitempty"`
-	NoCache     bool      `json:"no_cache,omitempty"`
+	// Volumes measures every region (exact for 2-d preference spaces,
+	// Monte-Carlo above); VolumeSamples bounds the Monte-Carlo sample
+	// count (0 = library default, 10000). Both are part of the cache key.
+	Volumes       bool  `json:"volumes,omitempty"`
+	VolumeSamples int   `json:"volume_samples,omitempty"`
+	NoGeometry    bool  `json:"no_geometry,omitempty"`
+	Seed          int64 `json:"seed,omitempty"`
+	TimeoutMs     int   `json:"timeout_ms,omitempty"`
+	NoCache       bool  `json:"no_cache,omitempty"`
 	// Parallelism asks the engine to expand this query on up to this many
 	// goroutines. Absent or 0 means serial: unlike the library default, the
 	// server only parallelizes when explicitly asked, so one request cannot
@@ -72,6 +76,11 @@ type regionWire struct {
 	Witness   []float64   `json:"witness"`
 	Vertices  [][]float64 `json:"vertices,omitempty"`
 	Volume    float64     `json:"volume,omitempty"`
+	// Outscorers are the stable option ids proven to outrank the focal
+	// throughout the region (complete when rank_exact). Stable ids stay
+	// valid across result-preserving mutations, so migrated cache entries
+	// keep reporting the right competitors.
+	Outscorers []int64 `json:"outscorers,omitempty"`
 }
 
 type statsWire struct {
@@ -119,15 +128,16 @@ type batchRequest struct {
 	Dataset string       `json:"dataset"`
 	Queries []batchQuery `json:"queries,omitempty"`
 	// K is the default shortlist size for items that do not set their own.
-	K          int     `json:"k,omitempty"`
-	Algorithm  string  `json:"algorithm,omitempty"`
-	Space      string  `json:"space,omitempty"`
-	Bounds     string  `json:"bounds,omitempty"`
-	Epsilon    float64 `json:"epsilon,omitempty"`
-	Volumes    bool    `json:"volumes,omitempty"`
-	NoGeometry bool    `json:"no_geometry,omitempty"`
-	Seed       int64   `json:"seed,omitempty"`
-	TimeoutMs  int     `json:"timeout_ms,omitempty"`
+	K             int     `json:"k,omitempty"`
+	Algorithm     string  `json:"algorithm,omitempty"`
+	Space         string  `json:"space,omitempty"`
+	Bounds        string  `json:"bounds,omitempty"`
+	Epsilon       float64 `json:"epsilon,omitempty"`
+	Volumes       bool    `json:"volumes,omitempty"`
+	VolumeSamples int     `json:"volume_samples,omitempty"`
+	NoGeometry    bool    `json:"no_geometry,omitempty"`
+	Seed          int64   `json:"seed,omitempty"`
+	TimeoutMs     int     `json:"timeout_ms,omitempty"`
 	// ItemTimeoutMs bounds each item's processing time individually
 	// (measured from when the item starts running, not from request
 	// arrival), so one pathological item 504s on its own line instead of
@@ -212,6 +222,27 @@ type impactResponse struct {
 }
 
 // ---- helpers -------------------------------------------------------------
+
+// maxImpactSamples bounds the Monte-Carlo sample count any single request
+// may demand of a pool worker (impact sampling, volume measurement, and
+// the what-if probes all share it).
+const maxImpactSamples = 1_000_000
+
+// normalizeVolumeSamples canonicalizes the volume_samples field before it
+// enters a cache key: it is meaningless without volumes, non-positive
+// means the library default (10000), and the per-request Monte-Carlo cap
+// applies — so semantically identical requests share one cache entry.
+func normalizeVolumeSamples(volumes bool, samples int) int {
+	switch {
+	case !volumes:
+		return 0
+	case samples <= 0:
+		return 10000
+	case samples > maxImpactSamples:
+		return maxImpactSamples
+	}
+	return samples
+}
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
@@ -389,10 +420,10 @@ func cacheKey(snap *Snapshot, req queryRequest, algo kspr.Algorithm, approx bool
 	if approx {
 		algoName = "approx"
 	}
-	fmt.Fprintf(&b, "%s@%d|kspr|k=%d|a=%s|s=%s|b=%s|v=%t|g=%t|e=%g|seed=%d",
+	fmt.Fprintf(&b, "%s@%d|kspr|k=%d|a=%s|s=%s|b=%s|v=%t|vs=%d|g=%t|e=%g|seed=%d",
 		snap.Name, snap.Generation, req.K,
 		algoName, space.String(), bounds.String(),
-		req.Volumes, !req.NoGeometry, eps, req.Seed)
+		req.Volumes, req.VolumeSamples, !req.NoGeometry, eps, req.Seed)
 	if req.FocalVector != nil {
 		b.WriteString("|fv=")
 		for _, v := range req.FocalVector {
@@ -436,6 +467,7 @@ func (s *Server) runKSPR(ctx context.Context, snap *Snapshot, req queryRequest) 
 	if approx && space == kspr.Original {
 		return nil, nil, fmt.Errorf("approx queries support only the transformed space")
 	}
+	req.VolumeSamples = normalizeVolumeSamples(req.Volumes, req.VolumeSamples)
 	eps := req.Epsilon
 	if eps <= 0 {
 		eps = 0.01
@@ -484,7 +516,7 @@ func (s *Server) runKSPR(ctx context.Context, snap *Snapshot, req queryRequest) 
 			kspr.WithParallelism(parallelism),
 		}
 		if req.Volumes {
-			opts = append(opts, kspr.WithVolumes(0))
+			opts = append(opts, kspr.WithVolumes(req.VolumeSamples))
 		}
 		if req.NoGeometry {
 			opts = append(opts, kspr.WithoutGeometry())
@@ -511,10 +543,10 @@ func (s *Server) runKSPR(ctx context.Context, snap *Snapshot, req queryRequest) 
 	switch res := val.(type) {
 	case *kspr.Result:
 		resp.Algorithm = algo.String()
-		fillResult(resp, res)
+		fillResult(resp, snap, res)
 	case *kspr.ApproxResult:
 		resp.Algorithm = "approx"
-		fillResult(resp, &res.Result)
+		fillResult(resp, snap, &res.Result)
 		resp.UncertainCount = len(res.Uncertain)
 		resp.UncertainVolume = res.UncertainVolume
 		conv := res.Converged
@@ -526,7 +558,7 @@ func (s *Server) runKSPR(ctx context.Context, snap *Snapshot, req queryRequest) 
 	return resp, val, nil
 }
 
-func fillResult(resp *queryResponse, res *kspr.Result) {
+func fillResult(resp *queryResponse, snap *Snapshot, res *kspr.Result) {
 	resp.Regions = make([]regionWire, len(res.Regions))
 	for i := range res.Regions {
 		reg := &res.Regions[i]
@@ -535,6 +567,14 @@ func fillResult(resp *queryResponse, res *kspr.Result) {
 			RankExact: reg.RankExact,
 			Witness:   reg.Witness,
 			Volume:    reg.Volume,
+		}
+		if len(reg.Outscorers) > 0 {
+			wire.Outscorers = make([]int64, 0, len(reg.Outscorers))
+			for _, id := range reg.Outscorers {
+				if sid, ok := snap.DB.StableID(id); ok {
+					wire.Outscorers = append(wire.Outscorers, sid)
+				}
+			}
 		}
 		if len(reg.Vertices) > 0 {
 			wire.Vertices = make([][]float64, len(reg.Vertices))
@@ -730,6 +770,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "approx queries support only the transformed space")
 		return
 	}
+	req.VolumeSamples = normalizeVolumeSamples(req.Volumes, req.VolumeSamples)
 	ctx, cancel := context.WithTimeout(r.Context(), s.timeout(req.TimeoutMs))
 	defer cancel()
 
@@ -818,7 +859,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 					kspr.WithParallelism(parallelism),
 				}
 				if req.Volumes {
-					qopts = append(qopts, kspr.WithVolumes(0))
+					qopts = append(qopts, kspr.WithVolumes(req.VolumeSamples))
 				}
 				if req.NoGeometry {
 					qopts = append(qopts, kspr.WithoutGeometry())
@@ -869,16 +910,17 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 // single-query traffic share cache entries).
 func (s *Server) batchItemRequest(req batchRequest, q batchQuery, k int) queryRequest {
 	return queryRequest{
-		Dataset:     req.Dataset,
-		Focal:       q.Focal,
-		FocalVector: q.FocalVector,
-		K:           k,
-		Algorithm:   req.Algorithm,
-		Space:       req.Space,
-		Bounds:      req.Bounds,
-		Volumes:     req.Volumes,
-		NoGeometry:  req.NoGeometry,
-		Seed:        req.Seed,
+		Dataset:       req.Dataset,
+		Focal:         q.Focal,
+		FocalVector:   q.FocalVector,
+		K:             k,
+		Algorithm:     req.Algorithm,
+		Space:         req.Space,
+		Bounds:        req.Bounds,
+		Volumes:       req.Volumes,
+		VolumeSamples: req.VolumeSamples,
+		NoGeometry:    req.NoGeometry,
+		Seed:          req.Seed,
 	}
 }
 
@@ -897,7 +939,7 @@ func (s *Server) batchItemResponse(snap *Snapshot, item batchQuery, bq kspr.Batc
 	if item.FocalVector != nil {
 		resp.Focal = -1
 	}
-	fillResult(resp, res)
+	fillResult(resp, snap, res)
 	return resp
 }
 
@@ -1115,7 +1157,6 @@ func (s *Server) handleImpact(w http.ResponseWriter, r *http.Request) {
 	}
 	// The sampling loop is not cancellable, so bound the work a single
 	// request can demand of a pool worker.
-	const maxImpactSamples = 1_000_000
 	if req.Samples > maxImpactSamples {
 		req.Samples = maxImpactSamples
 	}

@@ -28,6 +28,9 @@ type Metrics struct {
 	cacheDropped    atomic.Uint64
 	recoveries      atomic.Uint64
 
+	whatifProbes atomic.Uint64
+	whatifKept   atomic.Uint64
+
 	mu     sync.Mutex
 	lat    [latWindow]float64 // ring of latencies in milliseconds
 	latIdx int
@@ -98,6 +101,22 @@ func (m *Metrics) AddRecoveries(n int) {
 	m.recoveries.Add(uint64(n))
 }
 
+// AddWhatIf records one what-if call's probe economy: probes evaluated and
+// how many of them the incremental keep/classification path absorbed.
+func (m *Metrics) AddWhatIf(probes, kept uint64) {
+	m.whatifProbes.Add(probes)
+	m.whatifKept.Add(kept)
+}
+
+// WhatIfMetrics is the /metrics view of the what-if layer.
+type WhatIfMetrics struct {
+	// Probes counts impact evaluations across all what-if calls; Kept the
+	// ones answered without an engine run (Maintainer keep tiers, frontier
+	// dominator classification).
+	Probes uint64 `json:"probes_total"`
+	Kept   uint64 `json:"kept_total"`
+}
+
 // MutationStats is the /metrics view of the live-dataset subsystem.
 type MutationStats struct {
 	// Batches / Mutations count applied mutation batches and the
@@ -132,6 +151,7 @@ type MetricsSnapshot struct {
 	Pool          PoolStats         `json:"pool"`
 	CPU           CPUStats          `json:"cpu"`
 	Mutations     MutationStats     `json:"mutations"`
+	WhatIf        WhatIfMetrics     `json:"whatif"`
 	ByEndpoint    map[string]uint64 `json:"requests_by_endpoint"`
 	Datasets      []DatasetInfo     `json:"datasets"`
 }
@@ -157,6 +177,10 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 			CacheMigrated: m.cacheMigrated.Load(),
 			CacheDropped:  m.cacheDropped.Load(),
 			Recoveries:    m.recoveries.Load(),
+		},
+		WhatIf: WhatIfMetrics{
+			Probes: m.whatifProbes.Load(),
+			Kept:   m.whatifKept.Load(),
 		},
 	}
 	m.byEndpoint.Range(func(k, v any) bool {

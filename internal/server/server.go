@@ -120,6 +120,11 @@ func NewServer(cfg Config) *Server {
 	mux.HandleFunc("POST /v1/topk", s.instrument("topk", s.handleTopK))
 	mux.HandleFunc("GET /v1/skyline", s.instrument("skyline", s.handleSkyline))
 	mux.HandleFunc("POST /v1/impact", s.instrument("impact", s.handleImpact))
+	// The what-if layer: competitor attribution, repricing search, and
+	// impact–price frontiers (Google-style custom verbs, like :mutate).
+	mux.HandleFunc("GET /v1/impact:competitors", s.instrument("impact.competitors", s.handleCompetitors))
+	mux.HandleFunc("POST /v1/whatif:price", s.instrument("whatif.price", s.handlePrice))
+	mux.HandleFunc("POST /v1/whatif:frontier", s.instrument("whatif.frontier", s.handleFrontier))
 	s.mux = mux
 	return s
 }

@@ -496,10 +496,16 @@ func (db *DB) Rank(focalID int, w []float64) int {
 // the result regions relative to the whole preference space (§1's market
 // impact measure). It samples uniformly from the weight simplex.
 //
-// Contract: samples must be positive — it is the Monte-Carlo sample count
-// and the estimate's accuracy is O(1/sqrt(samples)). A non-positive
-// samples (or a nil res) yields 0, never NaN; callers wanting a default
-// should pass their own (the CLIs use 10000–100000).
+// Contract: samples must be positive — it is the Monte-Carlo sample count.
+// The estimate is an unbiased binomial proportion, so its standard error
+// is sqrt(p(1-p)/samples) <= 0.5/sqrt(samples); with 100000 samples the
+// estimate is within ±0.005 of the true measure with ~99.8% confidence
+// (three standard errors). For 2-dimensional preference spaces (d=3 data)
+// the exact alternative is WithVolumes: the result's TotalVolume divided
+// by the simplex measure 1/(d-1)! equals this probability, and the two
+// agree within the bound above (pinned by a cross-check test). A
+// non-positive samples (or a nil res) yields 0, never NaN; callers wanting
+// a default should pass their own (the CLIs use 10000–100000).
 func (db *DB) ImpactProbability(res *Result, samples int, seed int64) float64 {
 	return db.ImpactProbabilityPDF(res, nil, samples, seed)
 }

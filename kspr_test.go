@@ -266,6 +266,39 @@ func TestImpactProbabilityPDF(t *testing.T) {
 	}
 }
 
+// TestImpactProbabilityMatchesExactVolumes cross-checks the Monte-Carlo
+// membership estimate against ground truth: for d=3 data the transformed
+// preference space is 2-dimensional, where region volumes are computed
+// exactly (polygon areas), so the result's total volume divided by the
+// simplex measure (1/2) IS the impact probability. The estimate must agree
+// within the documented O(1/sqrt(samples)) bound; the tolerance below is
+// ~4 standard deviations of the binomial estimator, so a systematic bias
+// in either the sampler or the volume sums trips it.
+func TestImpactProbabilityMatchesExactVolumes(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	db, err := Open(randRecords(rng, 80, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const samples = 40000
+	for _, focal := range []int{db.Skyline()[0], db.KSkyband(5)[2]} {
+		res, err := db.KSPR(focal, 5, WithVolumes(samples))
+		if err != nil {
+			t.Fatal(err)
+		}
+		exact := res.TotalVolume() / 0.5 // simplex {w>=0, w1+w2<=1} has area 1/2
+		if exact < 0 || exact > 1+1e-9 {
+			t.Fatalf("exact volume share %v out of range", exact)
+		}
+		mc := db.ImpactProbability(res, samples, 31)
+		tol := 4 * math.Sqrt(exact*(1-exact)/samples+1e-12)
+		if math.Abs(mc-exact) > tol+1e-6 {
+			t.Fatalf("focal %d: Monte-Carlo impact %v vs exact volume share %v (tol %v)",
+				focal, mc, exact, tol)
+		}
+	}
+}
+
 func TestSkybandContainsSkyline(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
 	db, err := Open(randRecords(rng, 150, 3))

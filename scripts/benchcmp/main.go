@@ -28,6 +28,11 @@ type benchFile struct {
 	Seed       int64            `json:"seed"`
 	CPUs       int              `json:"cpus"`
 	Algorithms map[string]int64 `json:"ns_per_op"`
+	// What-if keys: probe latency is gated like an algorithm's ns/op, and
+	// the keep rate must stay positive (0 means the incremental fast path
+	// stopped firing — a correctness-of-architecture regression, not noise).
+	WhatIfProbeNs  int64   `json:"whatif_probe_ns"`
+	WhatIfKeepRate float64 `json:"whatif_keep_rate"`
 }
 
 func load(path string) (benchFile, error) {
@@ -94,8 +99,26 @@ func main() {
 		}
 		fmt.Printf("  %-10s %12d -> %12d ns/op  (%.2fx)  %s\n", name, base, now, ratio, verdict)
 	}
+	// What-if gate: only when both files carry the sweep (the fresh CI run
+	// includes it; older baselines without the keys are skipped cleanly).
+	if baseline.WhatIfProbeNs > 0 && fresh.WhatIfProbeNs > 0 {
+		now := int64(float64(fresh.WhatIfProbeNs) * *inject)
+		ratio := float64(now) / float64(baseline.WhatIfProbeNs)
+		verdict := "ok"
+		if ratio > 1+*maxRegress {
+			verdict = "REGRESSED"
+			regressed = append(regressed, "whatif_probe_ns")
+		}
+		fmt.Printf("  %-10s %12d -> %12d ns/probe (%.2fx)  %s\n",
+			"whatif", baseline.WhatIfProbeNs, now, ratio, verdict)
+		if fresh.WhatIfKeepRate <= 0 {
+			fmt.Printf("  %-10s keep rate %.2f -> %.2f  DEAD (incremental path no longer fires)\n",
+				"whatif", baseline.WhatIfKeepRate, fresh.WhatIfKeepRate)
+			regressed = append(regressed, "whatif_keep_rate")
+		}
+	}
 	if len(regressed) > 0 {
-		fmt.Fprintf(os.Stderr, "benchcmp: %d algorithm(s) regressed beyond +%.0f%%: %v\n",
+		fmt.Fprintf(os.Stderr, "benchcmp: %d metric(s) regressed beyond +%.0f%%: %v\n",
 			len(regressed), *maxRegress*100, regressed)
 		fmt.Fprintln(os.Stderr, "benchcmp: if this slowdown is intended, refresh the baseline (make bench) or apply the skip-bench-gate label")
 		os.Exit(1)

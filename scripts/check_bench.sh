@@ -21,9 +21,10 @@ if [ ! -f "$baseline" ]; then
 fi
 
 # Re-run the exact baseline workload (scale 0.5 -> n=1000, d=4, k=10,
-# IND, seed 1). -parallel 1 skips the parallel sweep: the gate only
-# compares the serial ns_per_op map, and this keeps the pass short.
-go run ./cmd/ksprbench -json -name ci -scale 0.5 -queries 3 -parallel 1
+# IND, seed 1). -parallel 1 skips the parallel sweep: the gate compares
+# the serial ns_per_op map plus the what-if probe latency and keep rate
+# (-whatif 16 mirrors the committed baseline's sweep).
+go run ./cmd/ksprbench -json -name ci -scale 0.5 -queries 3 -parallel 1 -whatif 16
 
 go run ./scripts/benchcmp \
     -baseline "$baseline" \
