@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench fmt vet docs lint coverage benchgate crashsmoke ci clean
+.PHONY: build test race racestress bench fmt vet docs lint coverage benchgate crashsmoke ci clean
 
 build:
 	$(GO) build ./...
@@ -10,6 +10,12 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# racestress repeats the race-detector run over the packages with the most
+# lock-heavy concurrency (per-endpoint metrics, trace recording) to shake
+# out ordering-dependent races a single pass can miss. CI runs it too.
+racestress:
+	$(GO) test -race -count=3 ./internal/server ./internal/obs
 
 # bench writes BENCH_core.json: ns/op per algorithm with the serial engine
 # and with a 4-worker engine, plus the speedup ratio, plus the shared-work
@@ -72,6 +78,7 @@ ci:
 	$(GO) vet ./...
 	$(GO) build ./...
 	$(GO) test -race ./...
+	$(MAKE) racestress
 	./scripts/check_links.sh
 	./scripts/check_docs.sh
 	$(MAKE) crashsmoke

@@ -22,6 +22,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	kspr "repro"
 	"repro/internal/dataset"
@@ -43,6 +44,7 @@ func main() {
 		mutate   = flag.Int("mutate", 0, "live-dataset demo: apply this many random mutations while incrementally maintaining the -focal query")
 		focalVec = flag.String("focal-vec", "", "comma-separated attribute vector: query a hypothetical record instead of -focal")
 		whatif   = flag.Bool("whatif", false, "competitive what-if panel for -focal: competitor attribution, repricing search, impact-price frontier")
+		explain  = flag.Bool("explain", false, "print the engine phase breakdown (wall time per phase) after the query")
 		attr     = flag.Int("attr", 0, "attribute index the what-if panel reprices")
 		target   = flag.Float64("target", 0.5, "target impact probability for the what-if repricing search")
 		steps    = flag.Int("steps", 8, "grid size of the what-if frontier sweep")
@@ -65,6 +67,12 @@ func main() {
 	}
 	if *whatif && *focals != "" {
 		usageErr("-whatif analyzes a single -focal; it conflicts with a -focals panel")
+	}
+	if *explain && *whatif {
+		usageErr("-explain traces a single query; it conflicts with the -whatif panel")
+	}
+	if *explain && *focals != "" {
+		usageErr("-explain traces a single query; it conflicts with a -focals panel")
 	}
 	if *whatif && (*mutate > 0 || *svgPath != "" || *focalVec != "") {
 		usageErr("-whatif works with a single -focal and no -mutate/-svg/-focal-vec")
@@ -105,7 +113,11 @@ func main() {
 		fatal(err)
 	}
 
-	opts := []kspr.QueryOption{kspr.WithSeed(*seed), kspr.WithParallelism(*par)}
+	var trace *kspr.Trace
+	if *explain {
+		trace = kspr.NewTrace()
+	}
+	opts := []kspr.QueryOption{kspr.WithSeed(*seed), kspr.WithParallelism(*par), kspr.WithTrace(trace)}
 	switch strings.ToLower(*algo) {
 	case "cta":
 		opts = append(opts, kspr.WithAlgorithm(kspr.CTA))
@@ -135,6 +147,7 @@ func main() {
 			os.Exit(2)
 		}
 		runMutateDemo(db, panel[0], *k, *mutate, *seed, opts)
+		printExplain(trace, *asJSON)
 		return
 	}
 
@@ -153,11 +166,13 @@ func main() {
 			if err := enc.Encode(res); err != nil {
 				fatal(err)
 			}
+			printExplain(trace, true)
 			return
 		}
 		fmt.Printf("kSPR for hypothetical record %.4f, k=%d, %d records, d=%d\n",
 			vec, *k, db.Len(), db.Dim())
 		printRegions(res, *volumes)
+		printExplain(trace, false)
 		return
 	}
 
@@ -204,6 +219,7 @@ func main() {
 		if err := enc.Encode(res); err != nil {
 			fatal(err)
 		}
+		printExplain(trace, true)
 		return
 	}
 
@@ -217,6 +233,32 @@ func main() {
 	if *volumes {
 		fmt.Printf("impact probability (uniform preferences): %.4f\n", db.ImpactProbability(res, 100000, *seed))
 	}
+	printExplain(trace, false)
+}
+
+// printExplain renders the -explain phase table: wall time, share and hit
+// count per engine phase, in execution order. With -json the table goes to
+// stderr so it never corrupts the JSON document on stdout.
+func printExplain(trace *kspr.Trace, toStderr bool) {
+	if trace == nil {
+		return
+	}
+	out := os.Stdout
+	if toStderr {
+		out = os.Stderr
+	}
+	phases := trace.Phases()
+	total := trace.TotalNs()
+	fmt.Fprintf(out, "\nengine phase breakdown:\n")
+	fmt.Fprintf(out, "  %-12s %12s %7s %7s\n", "phase", "time", "share", "count")
+	for _, p := range phases {
+		share := 0.0
+		if total > 0 {
+			share = 100 * float64(p.Ns) / float64(total)
+		}
+		fmt.Fprintf(out, "  %-12s %12v %6.1f%% %7d\n", p.Name, p.Duration().Round(time.Microsecond), share, p.Count)
+	}
+	fmt.Fprintf(out, "  %-12s %12v\n", "total", time.Duration(total).Round(time.Microsecond))
 }
 
 // printRegions renders a result's regions as text.

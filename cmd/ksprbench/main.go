@@ -31,9 +31,11 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"math/rand"
 	"os"
 	"runtime"
+	"sort"
 	"time"
 
 	kspr "repro"
@@ -140,19 +142,25 @@ func main() {
 // workload on Parallelism engine workers, and Speedup the serial/parallel
 // ratio, so the file records a 1-core vs n-core baseline per algorithm.
 type benchSummary struct {
-	Name               string             `json:"name"`
-	Timestamp          string             `json:"timestamp"`
-	GoVersion          string             `json:"go_version"`
-	GOOS               string             `json:"goos"`
-	GOARCH             string             `json:"goarch"`
-	CPUs               int                `json:"cpus"`
-	Dist               string             `json:"dist"`
-	N                  int                `json:"n"`
-	D                  int                `json:"d"`
-	K                  int                `json:"k"`
-	Queries            int                `json:"queries"`
-	Seed               int64              `json:"seed"`
-	Algorithms         map[string]int64   `json:"ns_per_op"`
+	Name       string           `json:"name"`
+	Timestamp  string           `json:"timestamp"`
+	GoVersion  string           `json:"go_version"`
+	GOOS       string           `json:"goos"`
+	GOARCH     string           `json:"goarch"`
+	CPUs       int              `json:"cpus"`
+	Dist       string           `json:"dist"`
+	N          int              `json:"n"`
+	D          int              `json:"d"`
+	K          int              `json:"k"`
+	Queries    int              `json:"queries"`
+	Seed       int64            `json:"seed"`
+	Algorithms map[string]int64 `json:"ns_per_op"`
+	// AlgorithmsP95/P99 are nearest-rank tail latencies over the serial
+	// sweep's per-query wall times, so benchcmp can gate tail latency, not
+	// just the mean (at small -queries they degrade toward the max, which
+	// is exactly the conservative gate CI wants).
+	AlgorithmsP95      map[string]int64   `json:"p95_ns,omitempty"`
+	AlgorithmsP99      map[string]int64   `json:"p99_ns,omitempty"`
 	Parallelism        int                `json:"parallelism,omitempty"`
 	AlgorithmsParallel map[string]int64   `json:"ns_per_op_parallel,omitempty"`
 	Speedup            map[string]float64 `json:"speedup,omitempty"`
@@ -250,31 +258,43 @@ func runBenchJSON(name, dist string, d, k int, scale float64, queries int, seed 
 		{"LP-CTA", kspr.LPCTA},
 		{"k-skyband", kspr.KSkybandCTA},
 	}
-	sweep := func(label string, algo kspr.Algorithm, parallelism int) (int64, error) {
-		start := time.Now()
+	// sweep times each focal individually so the serial pass can report
+	// tail latency, not just the mean.
+	sweep := func(label string, algo kspr.Algorithm, parallelism int) (int64, []int64, error) {
+		lats := make([]int64, 0, len(focals))
+		var total int64
 		for _, f := range focals {
+			start := time.Now()
 			_, err := db.KSPR(f, k, kspr.WithAlgorithm(algo), kspr.WithoutGeometry(),
 				kspr.WithParallelism(parallelism))
 			if err != nil {
-				return 0, fmt.Errorf("%s focal %d: %w", label, f, err)
+				return 0, nil, fmt.Errorf("%s focal %d: %w", label, f, err)
 			}
+			ns := time.Since(start).Nanoseconds()
+			lats = append(lats, ns)
+			total += ns
 		}
-		return time.Since(start).Nanoseconds() / int64(len(focals)), nil
+		return total / int64(len(focals)), lats, nil
 	}
+	sum.AlgorithmsP95 = map[string]int64{}
+	sum.AlgorithmsP99 = map[string]int64{}
 	for _, a := range algos {
-		ns, err := sweep(a.label, a.algo, 1)
+		ns, lats, err := sweep(a.label, a.algo, 1)
 		if err != nil {
 			return err
 		}
 		sum.Algorithms[a.label] = ns
-		fmt.Printf("%-10s %12d ns/op\n", a.label, ns)
+		sum.AlgorithmsP95[a.label] = tailNs(lats, 0.95)
+		sum.AlgorithmsP99[a.label] = tailNs(lats, 0.99)
+		fmt.Printf("%-10s %12d ns/op (p95 %d, p99 %d)\n",
+			a.label, ns, sum.AlgorithmsP95[a.label], sum.AlgorithmsP99[a.label])
 	}
 	if par > 1 {
 		sum.Parallelism = par
 		sum.AlgorithmsParallel = map[string]int64{}
 		sum.Speedup = map[string]float64{}
 		for _, a := range algos {
-			ns, err := sweep(a.label, a.algo, par)
+			ns, _, err := sweep(a.label, a.algo, par)
 			if err != nil {
 				return err
 			}
@@ -346,17 +366,43 @@ func runBenchJSON(name, dist string, d, k int, scale float64, queries int, seed 
 	}
 
 	// The approximate query is part of the serving surface; track it too.
-	start := time.Now()
+	var approxTotal int64
+	approxLats := make([]int64, 0, len(focals))
 	for _, f := range focals {
+		start := time.Now()
 		if _, err := db.KSPRApprox(f, k, 0.05); err != nil {
 			return fmt.Errorf("approx focal %d: %w", f, err)
 		}
+		ns := time.Since(start).Nanoseconds()
+		approxLats = append(approxLats, ns)
+		approxTotal += ns
 	}
-	sum.Algorithms["approx"] = time.Since(start).Nanoseconds() / int64(len(focals))
-	fmt.Printf("%-10s %12d ns/op\n", "approx", sum.Algorithms["approx"])
+	sum.Algorithms["approx"] = approxTotal / int64(len(focals))
+	sum.AlgorithmsP95["approx"] = tailNs(approxLats, 0.95)
+	sum.AlgorithmsP99["approx"] = tailNs(approxLats, 0.99)
+	fmt.Printf("%-10s %12d ns/op (p95 %d, p99 %d)\n",
+		"approx", sum.Algorithms["approx"], sum.AlgorithmsP95["approx"], sum.AlgorithmsP99["approx"])
 
 	out := fmt.Sprintf("BENCH_%s.json", name)
 	return writeBenchFile(out, &sum, dist, n, d, k, queries)
+}
+
+// tailNs is the nearest-rank p-quantile of the latency samples
+// (rank ceil(p*n), clamped), matching the serving histogram's estimator.
+func tailNs(lats []int64, p float64) int64 {
+	if len(lats) == 0 {
+		return 0
+	}
+	sorted := append([]int64(nil), lats...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	rank := int(math.Ceil(p * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
 }
 
 // writeBenchFile renders the summary to BENCH_<name>.json.

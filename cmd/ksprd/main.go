@@ -24,7 +24,9 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
+	_ "net/http/pprof" // registered on DefaultServeMux, served only with -pprof-addr
 	"os"
 	"os/signal"
 	"strings"
@@ -46,26 +48,49 @@ func (d *dataFlags) Set(s string) error {
 func main() {
 	var preload dataFlags
 	var (
-		addr     = flag.String("addr", ":8080", "listen address")
-		workers  = flag.Int("workers", 0, "worker pool size (0 = 4)")
-		queue    = flag.Int("queue", 0, "worker queue length (0 = 64)")
-		cache    = flag.Int("cache", 0, "result cache capacity in entries (0 = 1024)")
-		shards   = flag.Int("cache-shards", 0, "result cache shard count (0 = 8)")
-		timeout  = flag.Duration("timeout", 30*time.Second, "default per-query timeout")
-		maxWait  = flag.Duration("max-timeout", 5*time.Minute, "largest per-query timeout a request may ask for")
-		grace    = flag.Duration("grace", 15*time.Second, "shutdown grace period")
-		maxPar   = flag.Int("max-parallelism", 0, "largest engine parallelism a request may ask for (0 = all cores)")
-		cpuSlots = flag.Int("cpu-slots", 0, "extra CPU slots shared by parallel queries (0 = cores minus workers, -1 = none)")
-		maxBatch = flag.Int("max-batch", 0, "largest item count a /v1/kspr:batch request may carry (0 = 1024)")
-		storeDir = flag.String("store-dir", "", "directory for WAL-backed dataset stores (empty = in-memory datasets)")
-		walSync  = flag.Bool("wal-sync", false, "fsync the WAL on every mutation batch (survives power loss, not just crashes)")
-		snapshot = flag.Int("snapshot-every", 0, "store snapshot cadence in mutation batches (0 = default 256, negative = never)")
+		addr      = flag.String("addr", ":8080", "listen address")
+		workers   = flag.Int("workers", 0, "worker pool size (0 = 4)")
+		queue     = flag.Int("queue", 0, "worker queue length (0 = 64)")
+		cache     = flag.Int("cache", 0, "result cache capacity in entries (0 = 1024)")
+		shards    = flag.Int("cache-shards", 0, "result cache shard count (0 = 8)")
+		timeout   = flag.Duration("timeout", 30*time.Second, "default per-query timeout")
+		maxWait   = flag.Duration("max-timeout", 5*time.Minute, "largest per-query timeout a request may ask for")
+		grace     = flag.Duration("grace", 15*time.Second, "shutdown grace period")
+		maxPar    = flag.Int("max-parallelism", 0, "largest engine parallelism a request may ask for (0 = all cores)")
+		cpuSlots  = flag.Int("cpu-slots", 0, "extra CPU slots shared by parallel queries (0 = cores minus workers, -1 = none)")
+		maxBatch  = flag.Int("max-batch", 0, "largest item count a /v1/kspr:batch request may carry (0 = 1024)")
+		storeDir  = flag.String("store-dir", "", "directory for WAL-backed dataset stores (empty = in-memory datasets)")
+		walSync   = flag.Bool("wal-sync", false, "fsync the WAL on every mutation batch (survives power loss, not just crashes)")
+		snapshot  = flag.Int("snapshot-every", 0, "store snapshot cadence in mutation batches (0 = default 256, negative = never)")
+		logLevel  = flag.String("log-level", "", "structured request logging at this level: debug, info, warn or error (empty = off)")
+		logFormat = flag.String("log-format", "text", "request log format: text or json")
+		slowMs    = flag.Int("slow-query-ms", 0, "log requests at least this slow at Warn with their engine phase breakdown (0 = off)")
+		pprofAddr = flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty = off; keep it loopback-only)")
 	)
 	flag.Var(&preload, "data", "preload dataset as name=path.csv (repeatable; with -store-dir this seeds/replaces the named store)")
 	flag.Parse()
 
 	if *storeDir == "" && (*walSync || *snapshot != 0) {
 		fatal(fmt.Errorf("-wal-sync / -snapshot-every need -store-dir"))
+	}
+	if *slowMs < 0 {
+		usageError(fmt.Sprintf("-slow-query-ms must be >= 0, got %d", *slowMs))
+	}
+	logger, err := buildLogger(*logLevel, *logFormat, *slowMs > 0)
+	if err != nil {
+		usageError(err.Error())
+	}
+
+	if *pprofAddr != "" {
+		// pprof gets its own listener (DefaultServeMux carries the
+		// net/http/pprof registrations) so profiling endpoints are never
+		// reachable through the service address.
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "ksprd: pprof listener:", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "ksprd: pprof on %s/debug/pprof/\n", *pprofAddr)
 	}
 
 	srv := server.NewServer(server.Config{
@@ -81,6 +106,8 @@ func main() {
 		StoreDir:       *storeDir,
 		WALSync:        *walSync,
 		SnapshotEvery:  *snapshot,
+		Logger:         logger,
+		SlowQuery:      time.Duration(*slowMs) * time.Millisecond,
 	})
 	if *storeDir != "" {
 		snaps, err := srv.RecoverDatasets()
@@ -109,11 +136,59 @@ func main() {
 	defer stop()
 
 	fmt.Fprintf(os.Stderr, "ksprd: listening on %s\n", *addr)
-	err := srv.ListenAndServe(ctx, *addr, *grace)
+	err = srv.ListenAndServe(ctx, *addr, *grace)
 	if err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fatal(err)
 	}
 	fmt.Fprintln(os.Stderr, "ksprd: shut down cleanly")
+}
+
+// buildLogger assembles the request logger from the -log-level and
+// -log-format flags. An empty level normally disables logging, but the
+// slow-query log needs a logger, so it forces one at Warn.
+func buildLogger(level, format string, slowQuery bool) (*slog.Logger, error) {
+	// Validate both flags before the logging-off early return, so a typo'd
+	// -log-format is a usage error even when no logger is built.
+	var lvl slog.Level
+	switch strings.ToLower(level) {
+	case "":
+		lvl = slog.LevelWarn // the slow-query log's level when -log-level is unset
+	case "debug":
+		lvl = slog.LevelDebug
+	case "info":
+		lvl = slog.LevelInfo
+	case "warn", "warning":
+		lvl = slog.LevelWarn
+	case "error":
+		lvl = slog.LevelError
+	default:
+		return nil, fmt.Errorf("invalid -log-level %q, want debug, info, warn or error", level)
+	}
+	var build func(opts *slog.HandlerOptions) *slog.Logger
+	switch strings.ToLower(format) {
+	case "", "text":
+		build = func(opts *slog.HandlerOptions) *slog.Logger {
+			return slog.New(slog.NewTextHandler(os.Stderr, opts))
+		}
+	case "json":
+		build = func(opts *slog.HandlerOptions) *slog.Logger {
+			return slog.New(slog.NewJSONHandler(os.Stderr, opts))
+		}
+	default:
+		return nil, fmt.Errorf("invalid -log-format %q, want text or json", format)
+	}
+	if level == "" && !slowQuery {
+		return nil, nil
+	}
+	return build(&slog.HandlerOptions{Level: lvl}), nil
+}
+
+// usageError reports a bad flag combination the flag package itself cannot
+// catch, with the conventional exit status 2.
+func usageError(msg string) {
+	fmt.Fprintln(os.Stderr, "ksprd:", msg)
+	flag.Usage()
+	os.Exit(2)
 }
 
 func fatal(err error) {

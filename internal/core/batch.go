@@ -248,8 +248,10 @@ func RunBatch(tree *rtree.Tree, items []BatchItem, opts BatchOptions) ([]BatchOu
 
 	var shared *batchShared
 	if !opts.NoShare && len(items) > 1 && opts.Algorithm != CTA {
+		sharedSpan := opts.Trace.Span(PhaseSkyband)
 		var err error
 		shared, err = newBatchShared(tree, maxK)
+		sharedSpan.End()
 		if err != nil {
 			return nil, err
 		}

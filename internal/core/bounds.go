@@ -15,6 +15,7 @@ import (
 // leaf order below either way, keeping results bit-identical to the serial
 // path.
 func (r *runner) boundFreshLeaves() error {
+	span := r.opts.Trace.Span(PhaseRankBounds)
 	fresh := r.ct.TakeFreshLeaves()
 	live := fresh[:0]
 	for _, leaf := range fresh {
@@ -71,6 +72,9 @@ func (r *runner) boundFreshLeaves() error {
 			r.result.Stats.EarlyReported++
 		}
 	}
+	// Close the classification span before finalization so the emit work
+	// accounts to PhaseFinalize, keeping the phases non-overlapping.
+	span.End()
 	return r.emitAll(pending)
 }
 

@@ -93,6 +93,11 @@ func (r *runner) emit(leaf *celltree.Node, rank int, exact bool) error {
 // them in order, so the result list and the OnRegion callback sequence are
 // identical to a serial run.
 func (r *runner) emitAll(pending []pendingRegion) error {
+	if len(pending) == 0 {
+		return nil
+	}
+	span := r.opts.Trace.Span(PhaseFinalize)
+	defer span.End()
 	workers := r.workers()
 	heavy := r.opts.FinalizeGeometry || r.opts.ComputeVolumes
 	if workers <= 1 || len(pending) < 2 || !heavy {

@@ -232,8 +232,13 @@ func (m *Maintainer) Apply(tree *rtree.Tree, focalID int, deltas []Delta) (*Resu
 			recompute = true
 		}
 	}
-	if !recompute && !m.state.Unaffected(deltas) {
-		recompute = true
+	if !recompute {
+		classifySpan := m.opts.Trace.Span(PhaseClassify)
+		unaffected := m.state.Unaffected(deltas)
+		classifySpan.End()
+		if !unaffected {
+			recompute = true
+		}
 	}
 	m.stats.Generations++
 	if !recompute {

@@ -10,6 +10,34 @@ import (
 	"time"
 
 	"repro/internal/geom"
+	"repro/internal/obs"
+)
+
+// Trace-phase names the engine records when Options.Trace is set. The
+// phases are non-overlapping within one query, so their times sum to
+// (approximately) the query's wall time; docs/OBSERVABILITY.md is the
+// operator-facing glossary and must stay in step with this list.
+const (
+	// PhaseDominance is the §3.1 dominance filtering that classifies the
+	// dataset against the focal record before any cell-tree work.
+	PhaseDominance = "dominance"
+	// PhaseSkyband covers candidate discovery: k-skyband extraction,
+	// candidate/bounds index construction, and per-batch skyline pulls.
+	PhaseSkyband = "skyband"
+	// PhaseExpand is cell-tree expansion (hyperplane insertion).
+	PhaseExpand = "expand"
+	// PhaseRankBounds is LP-CTA's look-ahead rank-bound classification of
+	// freshly created cells (§6.4).
+	PhaseRankBounds = "rank_bounds"
+	// PhasePivots is the progressive algorithms' pivot-based reportability
+	// sweep over live leaves (Algorithm 2 lines 13-19).
+	PhasePivots = "pivot_check"
+	// PhaseFinalize is region finalization: LP geometry, volumes, and
+	// result assembly.
+	PhaseFinalize = "finalize"
+	// PhaseClassify is incremental maintenance's delta classification
+	// (keep-or-recompute decision), recorded by Maintainer.Apply.
+	PhaseClassify = "classify"
 )
 
 // Algorithm selects the kSPR processing strategy.
@@ -135,6 +163,11 @@ type Options struct {
 	// done, Run abandons the query and returns ctx.Err(), so callers can
 	// impose deadlines and cancel in-flight work. A nil Ctx never cancels.
 	Ctx context.Context
+	// Trace, when non-nil, records per-phase wall time for the run (see the
+	// Phase* constants). The recorder is concurrency-safe, so one trace may
+	// be shared by every query of a batch; nil disables tracing at
+	// negligible cost (phase-granular nil checks, no clock reads).
+	Trace *obs.Trace
 }
 
 // Region is one kSPR result region in the processing space (transformed by

@@ -151,9 +151,11 @@ func (r *runner) run() (*Result, error) {
 	d := r.tree.Dim
 	excludeFocal := func(id int) bool { return id == r.focalID }
 
+	domSpan := r.opts.Trace.Span(PhaseDominance)
 	dominators := r.tree.Dominators(r.focal, excludeFocal)
 	dominated := r.tree.DominatedBy(r.focal, excludeFocal)
 	ties := r.tree.EqualTo(r.focal, excludeFocal)
+	domSpan.End()
 
 	r.baseRank = len(dominators)
 	r.domIDs = dominators
@@ -226,7 +228,10 @@ func (r *runner) run() (*Result, error) {
 	case CTA:
 		err = r.runCTA(r.allCandidateIDs())
 	case KSkybandCTA:
-		err = r.runCTA(r.kSkybandIDs())
+		bandSpan := r.opts.Trace.Span(PhaseSkyband)
+		ids := r.kSkybandIDs()
+		bandSpan.End()
+		err = r.runCTA(ids)
 	case PCTA, LPCTA:
 		err = r.runProgressive()
 	default:
@@ -450,6 +455,8 @@ func (r *runner) buildBoundsIndex(cand *candIndex) (*rtree.Tree, error) {
 
 // runCTA inserts the given records' hyperplanes one by one (§4).
 func (r *runner) runCTA(ids []int) error {
+	span := r.opts.Trace.Span(PhaseExpand)
+	defer span.End()
 	for _, id := range ids {
 		if r.ct.Done() {
 			return nil
@@ -481,6 +488,7 @@ func (r *runner) runProgressive() error {
 
 	// Candidate index for the pivot checks (shared across the batch when
 	// this query runs as part of one).
+	bandSpan := r.opts.Trace.Span(PhaseSkyband)
 	cand, err := r.buildCandIndex()
 	if err != nil {
 		return err
@@ -502,12 +510,14 @@ func (r *runner) runProgressive() error {
 	} else {
 		batch = r.tree.Skyline(excludeBase)
 	}
+	bandSpan.End()
 
 	r.ct.TakeFreshLeaves() // the root cell's bounds are trivially [1, n]
 
 	for len(batch) > 0 && !r.ct.Done() {
 		r.result.Stats.Batches++
 		sort.Ints(batch)
+		expandSpan := r.opts.Trace.Span(PhaseExpand)
 		for _, id := range batch {
 			if r.ct.Done() {
 				break
@@ -534,6 +544,7 @@ func (r *runner) runProgressive() error {
 			}
 			r.result.Stats.ProcessedRecords++
 		}
+		expandSpan.End()
 		if r.ct.Done() {
 			break
 		}
@@ -552,6 +563,7 @@ func (r *runner) runProgressive() error {
 
 		// Pivot-based reporting and the union of non-pivots (Algorithm 2
 		// lines 13-19).
+		pivotSpan := r.opts.Trace.Span(PhasePivots)
 		np := make(map[int]bool)
 		var reportErr error
 		var toReport, toPrune []*celltree.Node
@@ -589,6 +601,7 @@ func (r *runner) runProgressive() error {
 		for _, c := range toPrune {
 			r.ct.Prune(c)
 		}
+		pivotSpan.End()
 		if len(toReport) > 0 {
 			pending := make([]pendingRegion, len(toReport))
 			for i, c := range toReport {
@@ -610,6 +623,7 @@ func (r *runner) runProgressive() error {
 
 		// Next batch: unprocessed records on the skyline of D minus the
 		// non-pivot union (Algorithm 2 lines 20-21).
+		skySpan := r.opts.Trace.Span(PhaseSkyband)
 		sky := r.tree.Skyline(func(id int) bool { return r.skip[id] || np[id] })
 		batch = batch[:0]
 		for _, id := range sky {
@@ -617,6 +631,7 @@ func (r *runner) runProgressive() error {
 				batch = append(batch, id)
 			}
 		}
+		skySpan.End()
 		if len(batch) == 0 {
 			// Should be impossible while live cells remain (every live cell
 			// admits an unprocessed record outside its pivots' dominance

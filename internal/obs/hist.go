@@ -1,0 +1,129 @@
+package obs
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultLatencyBuckets is the serving layer's shared bucket layout for
+// request-latency histograms: upper bounds in seconds on a 1–2.5–5 decade
+// ladder from 100µs to 60s. Every endpoint uses the same layout so
+// cross-endpoint quantiles compare bucket-for-bucket.
+var DefaultLatencyBuckets = []float64{
+	0.0001, 0.00025, 0.0005,
+	0.001, 0.0025, 0.005,
+	0.01, 0.025, 0.05,
+	0.1, 0.25, 0.5,
+	1, 2.5, 5,
+	10, 30, 60,
+}
+
+// Histogram is a fixed-bucket latency histogram with lock-free Observe
+// (one atomic add per sample plus sum/count upkeep). Bucket i counts
+// samples ≤ Bounds[i]; a final implicit +Inf bucket catches the rest.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Uint64 // len(bounds)+1; last is +Inf
+	count  atomic.Uint64
+	sumNs  atomic.Int64
+}
+
+// NewHistogram returns a histogram over the given ascending upper bounds
+// (seconds). A nil or empty bounds slice selects DefaultLatencyBuckets.
+// The slice is copied.
+func NewHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		bounds = DefaultLatencyBuckets
+	}
+	h := &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]atomic.Uint64, len(bounds)+1),
+	}
+	return h
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	s := d.Seconds()
+	lo, hi := 0, len(h.bounds)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if s <= h.bounds[mid] {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	h.counts[lo].Add(1)
+	h.count.Add(1)
+	h.sumNs.Add(int64(d))
+}
+
+// Snapshot returns a point-in-time copy of the histogram's state.
+// Concurrent Observes may straddle the copy, so Count can lag the bucket
+// sum by in-flight samples; consumers should treat the bucket counts as
+// authoritative.
+func (h *Histogram) Snapshot() HistSnapshot {
+	s := HistSnapshot{
+		Bounds: h.bounds,
+		Counts: make([]uint64, len(h.counts)),
+		Count:  h.count.Load(),
+		SumNs:  h.sumNs.Load(),
+	}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	return s
+}
+
+// HistSnapshot is an immutable copy of a Histogram, suitable for
+// quantile estimation and exposition without holding up writers.
+type HistSnapshot struct {
+	// Bounds are the bucket upper bounds in seconds; Counts has one extra
+	// trailing element for the +Inf bucket. Counts are per-bucket, not
+	// cumulative.
+	Bounds []float64
+	Counts []uint64
+	// Count and SumNs aggregate all observations.
+	Count uint64
+	SumNs int64
+}
+
+// Total sums the bucket counts (the authoritative sample count).
+func (s HistSnapshot) Total() uint64 {
+	var n uint64
+	for _, c := range s.Counts {
+		n += c
+	}
+	return n
+}
+
+// Quantile estimates the p-quantile (p in [0,1]) as the upper bound of
+// the bucket holding the nearest-rank sample, in seconds. Samples landing
+// in the +Inf bucket report the largest finite bound (the histogram can't
+// resolve beyond its range). An empty snapshot reports 0.
+func (s HistSnapshot) Quantile(p float64) float64 {
+	total := s.Total()
+	if total == 0 || len(s.Bounds) == 0 {
+		return 0
+	}
+	rank := uint64(math.Ceil(p * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > total {
+		rank = total
+	}
+	var cum uint64
+	for i, c := range s.Counts {
+		cum += c
+		if cum >= rank {
+			if i >= len(s.Bounds) {
+				return s.Bounds[len(s.Bounds)-1]
+			}
+			return s.Bounds[i]
+		}
+	}
+	return s.Bounds[len(s.Bounds)-1]
+}

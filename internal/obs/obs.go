@@ -1,0 +1,151 @@
+// Package obs is the repo's observability substrate: a lightweight
+// span/phase recorder the kSPR engine threads through queries (EXPLAIN
+// mode and the slow-query log render it), fixed-bucket latency histograms
+// behind the serving metrics, a hand-rolled Prometheus text-exposition
+// writer (no client_golang dependency), and request-id generation for
+// cross-log correlation. Everything here is dependency-free and safe for
+// concurrent use; the recorder is additionally nil-safe, so tracing
+// disabled costs two pointer checks per phase.
+package obs
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Trace aggregates wall time and counts per named phase of one logical
+// operation (a query, a batch, a maintenance step). Spans of the same
+// phase name accumulate — across loop iterations and across goroutines —
+// so a trace summarizes "where did the time go" rather than recording an
+// event log. All methods are safe on a nil *Trace (no-ops), which is how
+// tracing stays free when off.
+type Trace struct {
+	mu     sync.Mutex
+	order  []string
+	phases map[string]*phaseAgg
+}
+
+type phaseAgg struct {
+	ns    int64
+	count int64
+}
+
+// Phase is one aggregated phase of a finished trace.
+type Phase struct {
+	// Name identifies the phase (see the core package's Phase* constants
+	// for the engine's vocabulary).
+	Name string
+	// Ns is the total wall time spent in the phase across all its spans;
+	// Count the number of spans that contributed.
+	Ns    int64
+	Count int64
+}
+
+// Duration returns the phase's total wall time.
+func (p Phase) Duration() time.Duration { return time.Duration(p.Ns) }
+
+// NewTrace returns an empty recorder.
+func NewTrace() *Trace {
+	return &Trace{phases: make(map[string]*phaseAgg)}
+}
+
+// Span starts a span of the named phase and returns its handle; call End
+// to account the elapsed time. On a nil trace it returns an inert handle
+// without reading the clock.
+func (t *Trace) Span(name string) Span {
+	if t == nil {
+		return Span{}
+	}
+	return Span{t: t, name: name, start: time.Now()}
+}
+
+// Add accounts d (one span's worth) to the named phase directly, for
+// callers that measure time themselves. A nil trace ignores the call.
+func (t *Trace) Add(name string, d time.Duration) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	agg, ok := t.phases[name]
+	if !ok {
+		agg = &phaseAgg{}
+		t.phases[name] = agg
+		t.order = append(t.order, name)
+	}
+	agg.ns += int64(d)
+	agg.count++
+	t.mu.Unlock()
+}
+
+// Phases returns the aggregated phases in first-seen order. The slice is
+// a copy; a nil trace returns nil.
+func (t *Trace) Phases() []Phase {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Phase, 0, len(t.order))
+	for _, name := range t.order {
+		agg := t.phases[name]
+		out = append(out, Phase{Name: name, Ns: agg.ns, Count: agg.count})
+	}
+	return out
+}
+
+// TotalNs sums the phase times. Because phases are designed to be
+// non-overlapping within one operation, the sum approximates the
+// operation's wall time (EXPLAIN mode cross-checks it against the
+// engine's own Elapsed).
+func (t *Trace) TotalNs() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var ns int64
+	for _, agg := range t.phases {
+		ns += agg.ns
+	}
+	return ns
+}
+
+// Reset drops every recorded phase, so a long-lived owner (e.g. a live
+// query maintainer) can reuse one trace per step.
+func (t *Trace) Reset() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.order = t.order[:0]
+	for k := range t.phases {
+		delete(t.phases, k)
+	}
+	t.mu.Unlock()
+}
+
+// Span is an in-flight phase measurement created by Trace.Span.
+type Span struct {
+	t     *Trace
+	name  string
+	start time.Time
+}
+
+// End accounts the span's elapsed time to its phase. End on an inert span
+// (nil trace) is a no-op; calling it more than once accounts the phase
+// again, so don't.
+func (s Span) End() {
+	if s.t == nil {
+		return
+	}
+	s.t.Add(s.name, time.Since(s.start))
+}
+
+// SortedPhases returns the trace's phases sorted by descending time (for
+// display; Phases preserves recording order).
+func SortedPhases(t *Trace) []Phase {
+	phases := t.Phases()
+	sort.SliceStable(phases, func(i, j int) bool { return phases[i].Ns > phases[j].Ns })
+	return phases
+}

@@ -1,0 +1,120 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Label is one Prometheus label pair.
+type Label struct {
+	// Name must match [a-zA-Z_][a-zA-Z0-9_]*; Value may be any UTF-8
+	// string (escaped on write).
+	Name, Value string
+}
+
+// PromWriter renders metrics in the Prometheus text exposition format
+// (version 0.0.4) without depending on client_golang. Errors from the
+// underlying writer are sticky: the first one is kept and later calls
+// become no-ops, so callers can write a whole page and check Err once.
+type PromWriter struct {
+	w   io.Writer
+	err error
+}
+
+// NewPromWriter wraps w.
+func NewPromWriter(w io.Writer) *PromWriter { return &PromWriter{w: w} }
+
+// Err returns the first write error, if any.
+func (p *PromWriter) Err() error { return p.err }
+
+func (p *PromWriter) printf(format string, args ...any) {
+	if p.err != nil {
+		return
+	}
+	_, p.err = fmt.Fprintf(p.w, format, args...)
+}
+
+// Header emits the # HELP and # TYPE lines for a metric family. typ is
+// one of "counter", "gauge", "histogram".
+func (p *PromWriter) Header(name, help, typ string) {
+	p.printf("# HELP %s %s\n# TYPE %s %s\n", name, escapeHelp(help), name, typ)
+}
+
+// Sample emits one sample line: name{labels} value.
+func (p *PromWriter) Sample(name string, labels []Label, v float64) {
+	p.printf("%s%s %s\n", name, formatLabels(labels), formatValue(v))
+}
+
+// Counter emits a complete single-sample counter family.
+func (p *PromWriter) Counter(name, help string, v float64, labels ...Label) {
+	p.Header(name, help, "counter")
+	p.Sample(name, labels, v)
+}
+
+// Gauge emits a complete single-sample gauge family.
+func (p *PromWriter) Gauge(name, help string, v float64, labels ...Label) {
+	p.Header(name, help, "gauge")
+	p.Sample(name, labels, v)
+}
+
+// HistogramSeries emits one labeled series of a histogram family —
+// cumulative le buckets (including +Inf), _sum (seconds), and _count.
+// Call Header(name, help, "histogram") once before the first series.
+func (p *PromWriter) HistogramSeries(name string, labels []Label, s HistSnapshot) {
+	var cum uint64
+	for i, bound := range s.Bounds {
+		cum += s.Counts[i]
+		p.Sample(name+"_bucket", append(labels[:len(labels):len(labels)], Label{"le", formatValue(bound)}), float64(cum))
+	}
+	if len(s.Counts) > len(s.Bounds) {
+		cum += s.Counts[len(s.Bounds)]
+	}
+	p.Sample(name+"_bucket", append(labels[:len(labels):len(labels)], Label{"le", "+Inf"}), float64(cum))
+	p.Sample(name+"_sum", labels, float64(s.SumNs)/1e9)
+	p.Sample(name+"_count", labels, float64(cum))
+}
+
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, +1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func formatLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Name)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return v
+}
+
+func escapeHelp(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return v
+}

@@ -1,0 +1,25 @@
+package obs
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"sync/atomic"
+)
+
+var reqSeq atomic.Uint64
+
+// NewRequestID returns a 16-hex-char opaque request identifier for log
+// correlation (not a security token). It prefers crypto/rand and falls
+// back to a process-local counter if the system entropy source fails.
+func NewRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		var c [8]byte
+		n := reqSeq.Add(1)
+		for i := 0; i < 8; i++ {
+			c[i] = byte(n >> (8 * (7 - i)))
+		}
+		return hex.EncodeToString(c[:])
+	}
+	return hex.EncodeToString(b[:])
+}

@@ -110,6 +110,8 @@ type queryResponse struct {
 	Converged       *bool        `json:"converged,omitempty"`
 	Stats           statsWire    `json:"stats"`
 	Cached          bool         `json:"cached"`
+	// Trace carries the engine phase breakdown under ?debug=trace.
+	Trace *traceWire `json:"trace,omitempty"`
 }
 
 type batchQuery struct {
@@ -157,6 +159,10 @@ type batchLine struct {
 	Error  string         `json:"error,omitempty"`
 	Status int            `json:"status,omitempty"`
 	Result *queryResponse `json:"result,omitempty"`
+	// Trace is the batch-wide phase breakdown, emitted once as a trailer
+	// line with Index == -1 under ?debug=trace (the engine aggregates all
+	// items into one trace, so per-item attribution is not meaningful).
+	Trace *traceWire `json:"trace,omitempty"`
 }
 
 type topkRequest struct {
@@ -473,8 +479,14 @@ func (s *Server) runKSPR(ctx context.Context, snap *Snapshot, req queryRequest) 
 		eps = 0.01
 	}
 
+	// EXPLAIN-mode requests bypass the cache entirely: a hit would have no
+	// phases to report, and a traced response must not be shared with
+	// untraced callers. Slow-query-log traces do not force a miss — a hit
+	// is by definition not slow.
+	info := reqInfoFrom(ctx)
+	useCache := !req.NoCache && !info.Debug()
 	key := cacheKey(snap, req, algo, approx, space, bounds, eps)
-	if !req.NoCache {
+	if useCache {
 		if v, ok := s.cache.Get(key); ok {
 			cq := v.(*cachedQuery)
 			resp := *cq.resp // shallow copy: regions are shared, immutable
@@ -514,6 +526,7 @@ func (s *Server) runKSPR(ctx context.Context, snap *Snapshot, req queryRequest) 
 			kspr.WithBoundsMode(bounds),
 			kspr.WithSeed(req.Seed),
 			kspr.WithParallelism(parallelism),
+			kspr.WithTrace(info.Trace()),
 		}
 		if req.Volumes {
 			opts = append(opts, kspr.WithVolumes(req.VolumeSamples))
@@ -552,7 +565,7 @@ func (s *Server) runKSPR(ctx context.Context, snap *Snapshot, req queryRequest) 
 		conv := res.Converged
 		resp.Converged = &conv
 	}
-	if !req.NoCache {
+	if useCache {
 		s.cache.Put(key, &cachedQuery{req: req, resp: resp, raw: val})
 	}
 	return resp, val, nil
@@ -604,6 +617,75 @@ func (s *Server) handleKSPR(w http.ResponseWriter, r *http.Request) {
 	if !decodeBody(w, r, &req) {
 		return
 	}
+	s.serveKSPR(w, r, req)
+}
+
+// handleKSPRGet is the query-string form of /v1/kspr — the same query
+// surface as the POST body (minus focal_vector, which has no natural
+// query-string encoding), convenient for curl and EXPLAIN-mode poking:
+// GET /v1/kspr?dataset=d&focal=3&k=5&algorithm=lp-cta&debug=trace.
+func (s *Server) handleKSPRGet(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	req := queryRequest{
+		Dataset:   q.Get("dataset"),
+		Algorithm: q.Get("algorithm"),
+		Space:     q.Get("space"),
+		Bounds:    q.Get("bounds"),
+	}
+	intFields := map[string]*int{
+		"focal": &req.Focal, "k": &req.K,
+		"volume_samples": &req.VolumeSamples,
+		"timeout_ms":     &req.TimeoutMs,
+		"parallelism":    &req.Parallelism,
+	}
+	for name, dst := range intFields {
+		raw := q.Get(name)
+		if raw == "" {
+			continue
+		}
+		v, err := strconv.Atoi(raw)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "invalid %s=%q: %v", name, raw, err)
+			return
+		}
+		*dst = v
+	}
+	boolFields := map[string]*bool{
+		"volumes": &req.Volumes, "no_geometry": &req.NoGeometry, "no_cache": &req.NoCache,
+	}
+	for name, dst := range boolFields {
+		raw := q.Get(name)
+		if raw == "" {
+			continue
+		}
+		v, err := strconv.ParseBool(raw)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "invalid %s=%q: %v", name, raw, err)
+			return
+		}
+		*dst = v
+	}
+	if raw := q.Get("epsilon"); raw != "" {
+		v, err := strconv.ParseFloat(raw, 64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "invalid epsilon=%q: %v", raw, err)
+			return
+		}
+		req.Epsilon = v
+	}
+	if raw := q.Get("seed"); raw != "" {
+		v, err := strconv.ParseInt(raw, 10, 64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "invalid seed=%q: %v", raw, err)
+			return
+		}
+		req.Seed = v
+	}
+	s.serveKSPR(w, r, req)
+}
+
+// serveKSPR is the shared tail of the GET and POST query handlers.
+func (s *Server) serveKSPR(w http.ResponseWriter, r *http.Request, req queryRequest) {
 	snap, ok := s.registry.Get(req.Dataset)
 	if !ok {
 		writeError(w, http.StatusNotFound, "dataset %q not found", req.Dataset)
@@ -615,6 +697,9 @@ func (s *Server) handleKSPR(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		writeError(w, errStatusCode(err), "%v", err)
 		return
+	}
+	if info := reqInfoFrom(ctx); info.Debug() {
+		resp.Trace = traceToWire(info)
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -773,6 +858,10 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	req.VolumeSamples = normalizeVolumeSamples(req.Volumes, req.VolumeSamples)
 	ctx, cancel := context.WithTimeout(r.Context(), s.timeout(req.TimeoutMs))
 	defer cancel()
+	// Under ?debug=trace the batch skips the result cache (traced runs must
+	// actually run) and appends one trailer line with the batch-wide phase
+	// breakdown; see batchLine.Trace.
+	info := reqInfoFrom(ctx)
 
 	emitter := newBatchEmitter(len(items))
 
@@ -799,7 +888,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		}
 		qr := s.batchItemRequest(req, q, k)
 		key := cacheKey(snap, qr, algo, approx, space, bounds, 0.01)
-		if !req.NoCache && !approx {
+		if !req.NoCache && !approx && !info.Debug() {
 			if v, cached := s.cache.Get(key); cached {
 				cq := v.(*cachedQuery)
 				resp := *cq.resp
@@ -857,6 +946,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 					kspr.WithBoundsMode(bounds),
 					kspr.WithSeed(req.Seed),
 					kspr.WithParallelism(parallelism),
+					kspr.WithTrace(info.Trace()),
 				}
 				if req.Volumes {
 					qopts = append(qopts, kspr.WithVolumes(req.VolumeSamples))
@@ -873,7 +963,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 							return
 						}
 						resp := s.batchItemResponse(snap, items[i], queries[j], algo, space, o.Result)
-						if !req.NoCache {
+						if !req.NoCache && !info.Debug() {
 							s.cache.Put(keys[j], &cachedQuery{req: reqs[j], resp: resp, raw: o.Result})
 						}
 						emitter.settle(i, batchLine{Index: i, Result: resp})
@@ -896,6 +986,15 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			failed++
 		}
 		_ = enc.Encode(line)
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	// The batch-wide phase breakdown rides as one trailer line: the engine
+	// aggregates every item into the shared trace, so per-item attribution
+	// would be fiction. Index -1 marks the line as out-of-band.
+	if info.Debug() {
+		_ = enc.Encode(batchLine{Index: -1, Trace: traceToWire(info)})
 		if flusher != nil {
 			flusher.Flush()
 		}
@@ -1202,6 +1301,8 @@ func (s *Server) handleImpact(w http.ResponseWriter, r *http.Request) {
 
 // ---- health & metrics ----------------------------------------------------
 
+// handleHealthz is the liveness probe: green as soon as the process
+// serves HTTP. Readiness (WAL recovery done) lives on /readyz.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":   "ok",
@@ -1210,10 +1311,5 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	snap := s.metrics.Snapshot()
-	snap.Cache = s.cache.Stats()
-	snap.Pool = PoolStats{Workers: s.pool.Workers(), Depth: s.pool.Depth()}
-	snap.CPU = CPUStats{ExtraSlots: s.cpu.Slots(), InUse: s.cpu.InUse()}
-	snap.Datasets = s.registry.List()
-	writeJSON(w, http.StatusOK, snap)
+	writeJSON(w, http.StatusOK, s.metricsView())
 }

@@ -1,10 +1,14 @@
 package server
 
 import (
+	"io"
+	"math"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // latWindow is the number of most recent request latencies kept for
@@ -37,7 +41,28 @@ type Metrics struct {
 	latN   int
 	qps    [qpsBuckets]qpsBucket
 
-	byEndpoint sync.Map // string -> *atomic.Uint64
+	byEndpoint sync.Map // string -> *endpointStats
+}
+
+// endpointStats is one endpoint's serving record: request/error counters
+// plus a fixed-bucket latency histogram (the shared bucket layout of
+// obs.DefaultLatencyBuckets). The histogram backs both the per-endpoint
+// percentiles of JSON /metrics and the Prometheus exposition.
+type endpointStats struct {
+	count  atomic.Uint64
+	errors atomic.Uint64
+	hist   *obs.Histogram
+}
+
+// endpoint returns the named endpoint's stats, creating them on first
+// use. The common path is a single lock-free map lookup; LoadOrStore only
+// runs the first time an endpoint is seen.
+func (m *Metrics) endpoint(name string) *endpointStats {
+	if v, ok := m.byEndpoint.Load(name); ok {
+		return v.(*endpointStats)
+	}
+	v, _ := m.byEndpoint.LoadOrStore(name, &endpointStats{hist: obs.NewHistogram(nil)})
+	return v.(*endpointStats)
 }
 
 type qpsBucket struct {
@@ -56,11 +81,12 @@ func (m *Metrics) Observe(endpoint string, d time.Duration, isErr bool) {
 	if isErr {
 		m.errors.Add(1)
 	}
-	cnt, ok := m.byEndpoint.Load(endpoint)
-	if !ok {
-		cnt, _ = m.byEndpoint.LoadOrStore(endpoint, new(atomic.Uint64))
+	es := m.endpoint(endpoint)
+	es.count.Add(1)
+	if isErr {
+		es.errors.Add(1)
 	}
-	cnt.(*atomic.Uint64).Add(1)
+	es.hist.Observe(d)
 
 	sec := time.Now().Unix()
 	m.mu.Lock()
@@ -140,6 +166,18 @@ type LatencyStats struct {
 	P99Ms float64 `json:"p99_ms"`
 }
 
+// EndpointLatency is one endpoint's row in /metrics: counters plus
+// percentiles estimated from the endpoint's latency histogram (each
+// percentile reports the upper bound of its bucket, so it matches the
+// global window percentiles within one bucket width).
+type EndpointLatency struct {
+	Requests uint64  `json:"requests_total"`
+	Errors   uint64  `json:"errors_total"`
+	P50Ms    float64 `json:"p50_ms"`
+	P95Ms    float64 `json:"p95_ms"`
+	P99Ms    float64 `json:"p99_ms"`
+}
+
 // MetricsSnapshot is the JSON body of /metrics.
 type MetricsSnapshot struct {
 	UptimeSeconds float64           `json:"uptime_seconds"`
@@ -153,7 +191,10 @@ type MetricsSnapshot struct {
 	Mutations     MutationStats     `json:"mutations"`
 	WhatIf        WhatIfMetrics     `json:"whatif"`
 	ByEndpoint    map[string]uint64 `json:"requests_by_endpoint"`
-	Datasets      []DatasetInfo     `json:"datasets"`
+	// LatencyByEndpoint breaks latency and errors down per endpoint,
+	// derived from the per-endpoint histograms.
+	LatencyByEndpoint map[string]EndpointLatency `json:"latency_by_endpoint"`
+	Datasets          []DatasetInfo              `json:"datasets"`
 }
 
 // PoolStats is the /metrics view of the worker pool.
@@ -183,8 +224,18 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 			Kept:   m.whatifKept.Load(),
 		},
 	}
+	snap.LatencyByEndpoint = map[string]EndpointLatency{}
 	m.byEndpoint.Range(func(k, v any) bool {
-		snap.ByEndpoint[k.(string)] = v.(*atomic.Uint64).Load()
+		es := v.(*endpointStats)
+		hs := es.hist.Snapshot()
+		snap.ByEndpoint[k.(string)] = es.count.Load()
+		snap.LatencyByEndpoint[k.(string)] = EndpointLatency{
+			Requests: es.count.Load(),
+			Errors:   es.errors.Load(),
+			P50Ms:    hs.Quantile(0.50) * 1000,
+			P95Ms:    hs.Quantile(0.95) * 1000,
+			P99Ms:    hs.Quantile(0.99) * 1000,
+		}
 		return true
 	})
 
@@ -218,17 +269,83 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 	return snap
 }
 
-// percentile reads the p-quantile from sorted values (nearest-rank).
+// percentile reads the p-quantile from sorted values by rounding the
+// fractional rank p*(n-1) to the nearest sample. Unlike the classic
+// nearest-rank ceil(p*n) rule this is symmetric at tiny n — the median of
+// two samples reports the upper one rather than always the lower — and it
+// degrades to the usual estimate as n grows.
 func percentile(sorted []float64, p float64) float64 {
-	if len(sorted) == 0 {
+	n := len(sorted)
+	if n == 0 {
 		return 0
 	}
-	idx := int(p*float64(len(sorted))+0.5) - 1
+	idx := int(math.Round(p * float64(n-1)))
 	if idx < 0 {
 		idx = 0
 	}
-	if idx >= len(sorted) {
-		idx = len(sorted) - 1
+	if idx >= n {
+		idx = n - 1
 	}
 	return sorted[idx]
+}
+
+// WriteProm renders the metrics in Prometheus text exposition format
+// (the /metrics.prom body). snap must come from the server's metricsView
+// so the cache/pool/CPU/dataset sections are filled in; the per-endpoint
+// histograms are read live from m. The first write error is returned.
+func (m *Metrics) WriteProm(w io.Writer, snap MetricsSnapshot) error {
+	p := obs.NewPromWriter(w)
+	p.Gauge("kspr_uptime_seconds", "Seconds since the server started.", snap.UptimeSeconds)
+	p.Counter("kspr_requests_total", "HTTP requests served across all endpoints.", float64(snap.Requests))
+	p.Counter("kspr_errors_total", "Requests answered with status >= 400, plus per-item failures inside streamed batches.", float64(snap.Errors))
+	p.Gauge("kspr_qps_1m", "Requests per second over the last minute.", snap.QPS)
+
+	// Per-endpoint counters and histograms, in sorted endpoint order so
+	// the exposition is deterministic.
+	type epRow struct {
+		name string
+		es   *endpointStats
+	}
+	var eps []epRow
+	m.byEndpoint.Range(func(k, v any) bool {
+		eps = append(eps, epRow{k.(string), v.(*endpointStats)})
+		return true
+	})
+	sort.Slice(eps, func(i, j int) bool { return eps[i].name < eps[j].name })
+	if len(eps) > 0 {
+		p.Header("kspr_endpoint_requests_total", "Requests per endpoint.", "counter")
+		for _, ep := range eps {
+			p.Sample("kspr_endpoint_requests_total", []obs.Label{{Name: "endpoint", Value: ep.name}}, float64(ep.es.count.Load()))
+		}
+		p.Header("kspr_endpoint_errors_total", "Error responses per endpoint.", "counter")
+		for _, ep := range eps {
+			p.Sample("kspr_endpoint_errors_total", []obs.Label{{Name: "endpoint", Value: ep.name}}, float64(ep.es.errors.Load()))
+		}
+		p.Header("kspr_request_duration_seconds", "Request latency per endpoint.", "histogram")
+		for _, ep := range eps {
+			p.HistogramSeries("kspr_request_duration_seconds", []obs.Label{{Name: "endpoint", Value: ep.name}}, ep.es.hist.Snapshot())
+		}
+	}
+
+	p.Counter("kspr_cache_hits_total", "Result cache hits.", float64(snap.Cache.Hits))
+	p.Counter("kspr_cache_misses_total", "Result cache misses.", float64(snap.Cache.Misses))
+	p.Gauge("kspr_cache_entries", "Entries currently cached.", float64(snap.Cache.Entries))
+	p.Counter("kspr_cache_results_migrated_total", "Cached results carried across dataset generations.", float64(snap.Mutations.CacheMigrated))
+	p.Counter("kspr_cache_results_dropped_total", "Cached results orphaned by dataset generations.", float64(snap.Mutations.CacheDropped))
+	p.Gauge("kspr_pool_workers", "Worker pool size.", float64(snap.Pool.Workers))
+	p.Gauge("kspr_pool_depth", "Queued plus running jobs in the worker pool.", float64(snap.Pool.Depth))
+	p.Gauge("kspr_cpu_extra_slots", "Extra CPU slots in the parallelism budget.", float64(snap.CPU.ExtraSlots))
+	p.Gauge("kspr_cpu_slots_in_use", "Extra CPU slots currently held by parallel queries.", float64(snap.CPU.InUse))
+	p.Counter("kspr_mutation_batches_total", "Applied dataset mutation batches.", float64(snap.Mutations.Batches))
+	p.Counter("kspr_mutations_total", "Individual mutations applied.", float64(snap.Mutations.Mutations))
+	p.Counter("kspr_wal_recoveries_total", "Datasets restored by WAL replay at startup.", float64(snap.Mutations.Recoveries))
+	p.Counter("kspr_whatif_probes_total", "What-if impact probes evaluated.", float64(snap.WhatIf.Probes))
+	p.Counter("kspr_whatif_kept_total", "What-if probes absorbed by the incremental keep path.", float64(snap.WhatIf.Kept))
+	keepRate := 0.0
+	if snap.WhatIf.Probes > 0 {
+		keepRate = float64(snap.WhatIf.Kept) / float64(snap.WhatIf.Probes)
+	}
+	p.Gauge("kspr_whatif_keep_rate", "Fraction of what-if probes answered without an engine run.", keepRate)
+	p.Gauge("kspr_datasets", "Datasets currently registered.", float64(len(snap.Datasets)))
+	return p.Err()
 }

@@ -362,6 +362,37 @@ func (r *Registry) Recover() ([]*Snapshot, error) {
 	return out, nil
 }
 
+// PendingRecovery lists the dataset names present in the store directory
+// but not yet registered — what Recover still has to replay. /readyz
+// reports these while startup recovery runs.
+func (r *Registry) PendingRecovery() []string {
+	if r.storeDir == "" {
+		return nil
+	}
+	entries, err := os.ReadDir(r.storeDir)
+	if err != nil {
+		return nil
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var out []string
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		name := e.Name()
+		if validateStoreName(name) != nil {
+			continue
+		}
+		if _, ok := r.sets[name]; ok {
+			continue
+		}
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
 // storeMeta is the sidecar metadata persisted next to a dataset's WAL:
 // what the binary store does not carry (attribute names, record labels).
 type storeMeta struct {

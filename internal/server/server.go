@@ -2,9 +2,13 @@ package server
 
 import (
 	"context"
+	"log/slog"
 	"net/http"
 	"runtime"
+	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Config tunes the service. The zero value is usable: NewServer fills in
@@ -47,6 +51,15 @@ type Config struct {
 	// library default, negative disables automatic snapshots).
 	WALSync       bool
 	SnapshotEvery int
+	// Logger receives structured request logs (Debug per request) and the
+	// slow-query log (Warn). nil disables request logging entirely — the
+	// default, and what most tests want.
+	Logger *slog.Logger
+	// SlowQuery is the slow-query-log threshold: requests at least this
+	// slow are logged at Warn with their engine phase breakdown (every
+	// request gets a trace when the threshold is set, so the breakdown is
+	// available without ?debug=trace). <= 0 disables the slow-query log.
+	SlowQuery time.Duration
 }
 
 func (c *Config) normalize() {
@@ -88,6 +101,10 @@ type Server struct {
 	cpu      *CPUBudget
 	metrics  *Metrics
 	mux      *http.ServeMux
+	logger   *slog.Logger
+	// ready flips once startup WAL recovery finishes (or was never
+	// needed); /readyz serves 503 until then.
+	ready atomic.Bool
 }
 
 // NewServer wires the subsystem together.
@@ -104,10 +121,16 @@ func NewServer(cfg Config) *Server {
 		cache:    NewCache(cfg.CacheShards, cfg.CacheCapacity),
 		cpu:      NewCPUBudget(cfg.CPUSlots),
 		metrics:  NewMetrics(),
+		logger:   cfg.Logger,
 	}
+	// A store-less server has nothing to recover; store-backed servers
+	// become ready when RecoverDatasets finishes.
+	s.ready.Store(cfg.StoreDir == "")
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealthz))
+	mux.HandleFunc("GET /readyz", s.instrument("readyz", s.handleReadyz))
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /metrics.prom", s.handleMetricsProm)
 	mux.HandleFunc("GET /v1/datasets", s.instrument("datasets.list", s.handleDatasetList))
 	mux.HandleFunc("POST /v1/datasets", s.instrument("datasets.load", s.handleDatasetLoad))
 	mux.HandleFunc("DELETE /v1/datasets/{name}", s.instrument("datasets.unload", s.handleDatasetUnload))
@@ -116,6 +139,7 @@ func NewServer(cfg Config) *Server {
 	// collection route unambiguous.
 	mux.HandleFunc("POST /v1/datasets/{action}", s.instrument("datasets.mutate", s.handleDatasetMutate))
 	mux.HandleFunc("POST /v1/kspr", s.instrument("kspr", s.handleKSPR))
+	mux.HandleFunc("GET /v1/kspr", s.instrument("kspr", s.handleKSPRGet))
 	mux.HandleFunc("POST /v1/kspr:batch", s.instrument("kspr.batch", s.handleBatch))
 	mux.HandleFunc("POST /v1/topk", s.instrument("topk", s.handleTopK))
 	mux.HandleFunc("GET /v1/skyline", s.instrument("skyline", s.handleSkyline))
@@ -134,10 +158,15 @@ func (s *Server) Registry() *Registry { return s.registry }
 
 // RecoverDatasets re-registers every dataset found in the store directory
 // (snapshot load + WAL replay) and accounts the recoveries in /metrics.
-// Call once at startup, before serving.
+// Call once at startup; it may run concurrently with serving — /readyz
+// reports not-ready until it completes successfully, so load balancers
+// keep traffic off a node that is still replaying.
 func (s *Server) RecoverDatasets() ([]*Snapshot, error) {
 	snaps, err := s.registry.Recover()
 	s.metrics.AddRecoveries(len(snaps))
+	if err == nil {
+		s.ready.Store(true)
+	}
 	return snaps, err
 }
 
@@ -163,13 +192,28 @@ func (r *statusRecorder) Flush() {
 	}
 }
 
-// instrument wraps a handler with latency/error accounting.
+// instrument wraps a handler with latency/error accounting, the
+// per-request correlation id (accepted from, and echoed as, the
+// X-Request-Id header), and — when EXPLAIN mode or the slow-query log
+// asks for one — the engine trace handlers thread into query options.
 func (s *Server) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
+		id := r.Header.Get("X-Request-Id")
+		if id == "" {
+			id = obs.NewRequestID()
+		}
+		w.Header().Set("X-Request-Id", id)
+		ri := &reqInfo{id: id, debug: wantTrace(r)}
+		if ri.debug || s.cfg.SlowQuery > 0 {
+			ri.trace = obs.NewTrace()
+		}
+		r = r.WithContext(context.WithValue(r.Context(), reqInfoKey{}, ri))
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
 		start := time.Now()
 		h(rec, r)
-		s.metrics.Observe(name, time.Since(start), rec.status >= 400)
+		elapsed := time.Since(start)
+		s.metrics.Observe(name, elapsed, rec.status >= 400)
+		s.logRequest(name, r, ri, rec.status, elapsed)
 	}
 }
 

@@ -60,6 +60,8 @@ type competitorsResponse struct {
 	Miss        float64          `json:"miss"`
 	Competitors []competitorWire `json:"competitors"`
 	Cached      bool             `json:"cached"`
+	// Trace carries the engine phase breakdown under ?debug=trace.
+	Trace *traceWire `json:"trace,omitempty"`
 }
 
 type priceRequest struct {
@@ -96,6 +98,8 @@ type priceResponse struct {
 	LowerImpact float64         `json:"lower_impact"`
 	Stats       whatifStatsWire `json:"stats"`
 	Cached      bool            `json:"cached"`
+	// Trace carries the engine phase breakdown under ?debug=trace.
+	Trace *traceWire `json:"trace,omitempty"`
 }
 
 type frontierRequest struct {
@@ -132,6 +136,8 @@ type frontierResponse struct {
 	Points     []frontierPointWire `json:"points"`
 	Stats      whatifStatsWire     `json:"stats"`
 	Cached     bool                `json:"cached"`
+	// Trace carries the engine phase breakdown under ?debug=trace.
+	Trace *traceWire `json:"trace,omitempty"`
 }
 
 // ---- helpers -------------------------------------------------------------
@@ -218,6 +224,10 @@ func (s *Server) handleCompetitors(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	noCache := q.Get("no_cache") == "1" || q.Get("no_cache") == "true"
+	// EXPLAIN mode must actually run (and must not share its traced
+	// response through the cache); see runKSPR.
+	info := reqInfoFrom(r.Context())
+	noCache = noCache || info.Debug()
 
 	key := fmt.Sprintf("%s@%d|whatif.comp|f=%d|k=%d|a=%s|n=%d|seed=%d",
 		snap.Name, snap.Generation, focal, k, algo.String(), samples, seed)
@@ -234,7 +244,7 @@ func (s *Server) handleCompetitors(w http.ResponseWriter, r *http.Request) {
 	val, err := s.pool.Submit(ctx, func(ctx context.Context) (any, error) {
 		return snap.DB.Competitors(focal, k, samples, seed,
 			kspr.WithAlgorithm(algo), kspr.WithContext(ctx), kspr.WithParallelism(1),
-			kspr.WithoutGeometry())
+			kspr.WithoutGeometry(), kspr.WithTrace(info.Trace()))
 	})
 	if err != nil {
 		writeError(w, errStatusCode(err), "%v", err)
@@ -267,6 +277,9 @@ func (s *Server) handleCompetitors(w http.ResponseWriter, r *http.Request) {
 		s.cache.Put(key, resp)
 	}
 	s.metrics.AddWhatIf(1, 0)
+	if info.Debug() {
+		resp.Trace = traceToWire(info)
+	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -292,6 +305,9 @@ func (s *Server) handlePrice(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	req.Samples = clampSamples(req.Samples)
+	// EXPLAIN mode bypasses the cache; see runKSPR.
+	info := reqInfoFrom(r.Context())
+	req.NoCache = req.NoCache || info.Debug()
 
 	key := fmt.Sprintf("%s@%d|whatif.price|f=%d|k=%d|a=%s|attr=%d|t=%x|md=%x|e=%x|n=%d|seed=%d|vm=%t",
 		snap.Name, snap.Generation, req.Focal, req.K, algo.String(), req.Attr,
@@ -327,7 +343,7 @@ func (s *Server) handlePrice(w http.ResponseWriter, r *http.Request) {
 			Seed:         req.Seed,
 			VolumeMetric: req.VolumeMetric,
 		}, kspr.WithAlgorithm(algo), kspr.WithContext(ctx), kspr.WithParallelism(1),
-			kspr.WithoutGeometry())
+			kspr.WithoutGeometry(), kspr.WithTrace(info.Trace()))
 	})
 	if err != nil {
 		// An unreachable target is a well-formed request whose answer is
@@ -366,6 +382,9 @@ func (s *Server) handlePrice(w http.ResponseWriter, r *http.Request) {
 		s.cache.Put(key, &priceCacheEntry{resp: resp})
 	}
 	s.metrics.AddWhatIf(uint64(rp.Stats.Probes), uint64(rp.Stats.Kept))
+	if info.Debug() {
+		resp.Trace = traceToWire(info)
+	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -405,6 +424,9 @@ func (s *Server) handleFrontier(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	req.Samples = clampSamples(req.Samples)
+	// EXPLAIN mode bypasses the cache; see runKSPR.
+	info := reqInfoFrom(r.Context())
+	req.NoCache = req.NoCache || info.Debug()
 
 	key := fmt.Sprintf("%s@%d|whatif.frontier|f=%d|k=%d|a=%s|attr=%d|min=%x|max=%x|st=%d|n=%d|seed=%d|vm=%t",
 		snap.Name, snap.Generation, req.Focal, req.K, algo.String(), req.Attr,
@@ -430,7 +452,7 @@ func (s *Server) handleFrontier(w http.ResponseWriter, r *http.Request) {
 			Seed:         req.Seed,
 			VolumeMetric: req.VolumeMetric,
 		}, kspr.WithAlgorithm(algo), kspr.WithContext(ctx), kspr.WithParallelism(1),
-			kspr.WithoutGeometry())
+			kspr.WithoutGeometry(), kspr.WithTrace(info.Trace()))
 	})
 	if err != nil {
 		writeError(w, errStatusCode(err), "%v", err)
@@ -459,5 +481,8 @@ func (s *Server) handleFrontier(w http.ResponseWriter, r *http.Request) {
 		s.cache.Put(key, resp)
 	}
 	s.metrics.AddWhatIf(uint64(curve.Stats.Probes), uint64(curve.Stats.Kept))
+	if info.Debug() {
+		resp.Trace = traceToWire(info)
+	}
 	writeJSON(w, http.StatusOK, resp)
 }

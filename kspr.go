@@ -38,6 +38,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/geom"
+	"repro/internal/obs"
 	"repro/internal/rtree"
 	"repro/internal/store"
 	"repro/internal/viz"
@@ -82,6 +83,19 @@ type Result = core.Result
 
 // Stats are the query's side metrics; see core.Stats for field docs.
 type Stats = core.Stats
+
+// Trace records per-phase wall time of a query when attached via
+// WithTrace; read the breakdown with Phases after the query returns. One
+// trace may be shared across the queries of a batch (it is
+// concurrency-safe and aggregates by phase name). See obs.Trace.
+type Trace = obs.Trace
+
+// TracePhase is one aggregated phase of a Trace (name, total nanoseconds,
+// span count).
+type TracePhase = obs.Phase
+
+// NewTrace returns an empty query trace for WithTrace.
+func NewTrace() *Trace { return obs.NewTrace() }
 
 // DB is a dataset indexed for kSPR and related rank-aware queries. It is
 // safe for concurrent readers, and — since the live-dataset subsystem —
@@ -252,6 +266,15 @@ func WithContext(ctx context.Context) QueryOption {
 // single-threaded algorithms unchanged.
 func WithParallelism(n int) QueryOption {
 	return func(o *core.Options) { o.Parallelism = n }
+}
+
+// WithTrace attaches a phase recorder to the query: the engine records
+// wall time per processing phase (dominance filtering, skyband/candidate
+// discovery, cell-tree expansion, rank-bound classification, pivot
+// checks, finalization) into t, which the caller inspects with t.Phases()
+// after the query returns. A nil t leaves tracing off.
+func WithTrace(t *Trace) QueryOption {
+	return func(o *core.Options) { o.Trace = t }
 }
 
 // WithParallelBounds runs the query engine on all CPU cores.

@@ -28,6 +28,11 @@ type benchFile struct {
 	Seed       int64            `json:"seed"`
 	CPUs       int              `json:"cpus"`
 	Algorithms map[string]int64 `json:"ns_per_op"`
+	// Tail latency per algorithm (nearest-rank over the serial sweep's
+	// per-query times); gated like the means so a fat tail cannot hide
+	// behind a healthy average.
+	AlgorithmsP95 map[string]int64 `json:"p95_ns"`
+	AlgorithmsP99 map[string]int64 `json:"p99_ns"`
 	// What-if keys: probe latency is gated like an algorithm's ns/op, and
 	// the keep rate must stay positive (0 means the incremental fast path
 	// stopped firing — a correctness-of-architecture regression, not noise).
@@ -98,6 +103,36 @@ func main() {
 			regressed = append(regressed, name)
 		}
 		fmt.Printf("  %-10s %12d -> %12d ns/op  (%.2fx)  %s\n", name, base, now, ratio, verdict)
+	}
+	// Tail-latency gate: same tolerance, applied to p95/p99 per algorithm.
+	// Both files must carry the maps (baselines predating them skip
+	// cleanly, like the what-if keys below).
+	for _, tail := range []struct {
+		label    string
+		baseline map[string]int64
+		fresh    map[string]int64
+	}{
+		{"p95", baseline.AlgorithmsP95, fresh.AlgorithmsP95},
+		{"p99", baseline.AlgorithmsP99, fresh.AlgorithmsP99},
+	} {
+		if len(tail.baseline) == 0 || len(tail.fresh) == 0 {
+			continue
+		}
+		for _, name := range names {
+			base, okB := tail.baseline[name]
+			now, okF := tail.fresh[name]
+			if !okB || !okF || base <= 0 {
+				continue
+			}
+			now = int64(float64(now) * *inject)
+			ratio := float64(now) / float64(base)
+			verdict := "ok"
+			if ratio > 1+*maxRegress {
+				verdict = "REGRESSED"
+				regressed = append(regressed, name+"/"+tail.label)
+			}
+			fmt.Printf("  %-10s %12d -> %12d ns/%s (%.2fx)  %s\n", name, base, now, tail.label, ratio, verdict)
+		}
 	}
 	// What-if gate: only when both files carry the sweep (the fresh CI run
 	// includes it; older baselines without the keys are skipped cleanly).
