@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race racestress bench fmt vet docs lint coverage benchgate crashsmoke ci clean
+.PHONY: build test race racestress bench fmt vet docs lint coverage benchgate load loadgate fuzz crashsmoke ci clean
 
 build:
 	$(GO) build ./...
@@ -29,7 +29,7 @@ racestress:
 # much hardware the speedups had to work with; on a 1-CPU container both
 # hover near 1.0x by physics).
 bench:
-	$(GO) run ./cmd/ksprbench -json -name core -scale 0.5 -queries 3 -parallel 4 -batch 8 -mutate 48 -whatif 16
+	$(GO) run ./cmd/ksprbench -json -name core -scale 0.5 -queries 20 -parallel 4 -batch 8 -mutate 48 -whatif 16
 
 fmt:
 	gofmt -l .
@@ -64,6 +64,31 @@ coverage:
 benchgate:
 	./scripts/check_bench.sh
 
+# load refreshes the committed BENCH_load.json baseline: a 10s mixed
+# kspr/batch/mutate/what-if run of cmd/ksprload against a self-hosted
+# serving stack, with the invariant verifier armed. The summary is
+# written before the verdict so violations stay inspectable, but a run
+# that exits non-zero must not be committed as a baseline.
+load:
+	$(GO) run ./cmd/ksprload -duration 10s -conc 8 -name load
+
+# loadgate re-runs a short ksprload workload and fails on p99 or
+# error-rate regression against the committed BENCH_load.json
+# (LOAD_DURATION / LOAD_MAX_REGRESS / LOAD_INJECT override; see
+# scripts/check_load.sh).
+loadgate:
+	./scripts/check_load.sh
+
+# fuzz smoke-runs the native Go fuzz targets over the two untrusted
+# parsers — :mutate body decoding (internal/server) and WAL frame /
+# snapshot decoding (internal/store) — for FUZZTIME each, on top of their
+# committed seed corpora in testdata/fuzz/.
+FUZZTIME ?= 10s
+fuzz:
+	$(GO) test ./internal/server -run '^$$' -fuzz FuzzDecodeMutateRequest -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/store -run '^$$' -fuzz FuzzDecodeWALPayload -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/store -run '^$$' -fuzz FuzzLoadSnapshot -fuzztime $(FUZZTIME)
+
 # crashsmoke kills a WAL-backed ksprd mid-mutation-stream with SIGKILL,
 # restarts it over the same store directory, and asserts recovery restores
 # exactly the last acknowledged generation and record count.
@@ -72,7 +97,8 @@ crashsmoke:
 
 # ci mirrors the GitHub workflow locally: formatting, vet, build, race
 # tests, doc gates, the crash-recovery smoke test, lint, the coverage
-# floor and the bench regression gate.
+# floor, the bench regression gate, a short fuzz smoke, and the load
+# regression gate.
 ci:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 	$(GO) vet ./...
@@ -85,6 +111,8 @@ ci:
 	$(MAKE) lint
 	$(MAKE) coverage
 	$(MAKE) benchgate
+	$(MAKE) fuzz FUZZTIME=5s
+	$(MAKE) loadgate
 
 clean:
-	rm -f BENCH_ci.json cover.out
+	rm -f BENCH_ci.json BENCH_load_ci.json cover.out cpu.out mutex.out

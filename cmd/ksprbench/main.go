@@ -157,8 +157,9 @@ type benchSummary struct {
 	Algorithms map[string]int64 `json:"ns_per_op"`
 	// AlgorithmsP95/P99 are nearest-rank tail latencies over the serial
 	// sweep's per-query wall times, so benchcmp can gate tail latency, not
-	// just the mean (at small -queries they degrade toward the max, which
-	// is exactly the conservative gate CI wants).
+	// just the mean. They are only emitted at -queries >= minTailQueries:
+	// below that the nearest-rank estimate collapses to the max and the
+	// gate compares noise to noise.
 	AlgorithmsP95      map[string]int64   `json:"p95_ns,omitempty"`
 	AlgorithmsP99      map[string]int64   `json:"p99_ns,omitempty"`
 	Parallelism        int                `json:"parallelism,omitempty"`
@@ -276,18 +277,31 @@ func runBenchJSON(name, dist string, d, k int, scale float64, queries int, seed 
 		}
 		return total / int64(len(focals)), lats, nil
 	}
-	sum.AlgorithmsP95 = map[string]int64{}
-	sum.AlgorithmsP99 = map[string]int64{}
+	// Tails are only recorded with enough samples to mean something: the
+	// nearest-rank p95/p99 of a tiny sweep collapse to the max, and a
+	// committed baseline full of max-values makes the tail gate pure noise.
+	recordTails := queries >= minTailQueries
+	if recordTails {
+		sum.AlgorithmsP95 = map[string]int64{}
+		sum.AlgorithmsP99 = map[string]int64{}
+	} else {
+		fmt.Printf("tails: skipped (need -queries >= %d for meaningful p95/p99, have %d)\n",
+			minTailQueries, queries)
+	}
 	for _, a := range algos {
 		ns, lats, err := sweep(a.label, a.algo, 1)
 		if err != nil {
 			return err
 		}
 		sum.Algorithms[a.label] = ns
-		sum.AlgorithmsP95[a.label] = tailNs(lats, 0.95)
-		sum.AlgorithmsP99[a.label] = tailNs(lats, 0.99)
-		fmt.Printf("%-10s %12d ns/op (p95 %d, p99 %d)\n",
-			a.label, ns, sum.AlgorithmsP95[a.label], sum.AlgorithmsP99[a.label])
+		if recordTails {
+			sum.AlgorithmsP95[a.label] = tailNs(lats, 0.95)
+			sum.AlgorithmsP99[a.label] = tailNs(lats, 0.99)
+			fmt.Printf("%-10s %12d ns/op (p95 %d, p99 %d)\n",
+				a.label, ns, sum.AlgorithmsP95[a.label], sum.AlgorithmsP99[a.label])
+		} else {
+			fmt.Printf("%-10s %12d ns/op\n", a.label, ns)
+		}
 	}
 	if par > 1 {
 		sum.Parallelism = par
@@ -378,14 +392,23 @@ func runBenchJSON(name, dist string, d, k int, scale float64, queries int, seed 
 		approxTotal += ns
 	}
 	sum.Algorithms["approx"] = approxTotal / int64(len(focals))
-	sum.AlgorithmsP95["approx"] = tailNs(approxLats, 0.95)
-	sum.AlgorithmsP99["approx"] = tailNs(approxLats, 0.99)
-	fmt.Printf("%-10s %12d ns/op (p95 %d, p99 %d)\n",
-		"approx", sum.Algorithms["approx"], sum.AlgorithmsP95["approx"], sum.AlgorithmsP99["approx"])
+	if recordTails {
+		sum.AlgorithmsP95["approx"] = tailNs(approxLats, 0.95)
+		sum.AlgorithmsP99["approx"] = tailNs(approxLats, 0.99)
+		fmt.Printf("%-10s %12d ns/op (p95 %d, p99 %d)\n",
+			"approx", sum.Algorithms["approx"], sum.AlgorithmsP95["approx"], sum.AlgorithmsP99["approx"])
+	} else {
+		fmt.Printf("%-10s %12d ns/op\n", "approx", sum.Algorithms["approx"])
+	}
 
 	out := fmt.Sprintf("BENCH_%s.json", name)
 	return writeBenchFile(out, &sum, dist, n, d, k, queries)
 }
+
+// minTailQueries is the smallest -queries at which p95/p99 are recorded:
+// the nearest-rank p95 needs at least 20 samples before it stops being
+// the sample max.
+const minTailQueries = 20
 
 // tailNs is the nearest-rank p-quantile of the latency samples
 // (rank ceil(p*n), clamped), matching the serving histogram's estimator.

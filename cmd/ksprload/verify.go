@@ -1,0 +1,113 @@
+// The verifier half of the harness: live invariant checks applied to
+// every response the traffic workers receive. All checks are cheap and
+// lock-free on the hot path (atomics + a CAS-max generation floor); only
+// recording a violation takes a lock, and violations are the exceptional
+// case that fails the whole run anyway.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// verifier tallies invariant checks and violations across all workers.
+//
+// The invariant catalogue (see docs/LOAD_TESTING.md):
+//
+//  1. Read-your-generation: the registry swaps a dataset's snapshot
+//     atomically before acknowledging a mutation, so any response for a
+//     request issued after the harness observed generation g must report
+//     generation >= g. Each dataset keeps a CAS-raised floor; a response
+//     below the floor it started from is a consistency violation.
+//  2. Batch stream shape: a :batch response must settle every item
+//     exactly once — one NDJSON line per index, every index in range.
+//  3. Cache honesty: a cache-served result, cold-recomputed with
+//     no_cache at the same generation, must be byte-identical
+//     (whitespace aside). Sampled at -verify-sample.
+//  4. Honest backpressure: a 429 may only occur when the CPU budget can
+//     genuinely be exhausted (budget slots > 0 and the request asked for
+//     parallelism > 1), must carry a sane Retry-After, and must be a
+//     pure JSON error — never preceded by partial stream output.
+type verifier struct {
+	// budgetSlots is cpu.extra_slots from /metrics at startup: the size
+	// of the server's parallelism budget. 0 means AcquireRequired always
+	// grants zero extra slots without error, so a 429 is impossible.
+	budgetSlots int
+
+	genChecks       atomic.Uint64
+	batchLineChecks atomic.Uint64
+	recomputeChecks atomic.Uint64
+	recomputeSkips  atomic.Uint64
+	checks429       atomic.Uint64
+
+	mu         sync.Mutex
+	violations uint64
+	examples   []string
+}
+
+func newVerifier() *verifier { return &verifier{} }
+
+// violate records one invariant violation (examples capped, count not).
+func (v *verifier) violate(format string, args ...any) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.violations++
+	if len(v.examples) < 8 {
+		v.examples = append(v.examples, fmt.Sprintf(format, args...))
+	}
+}
+
+// checkGeneration enforces invariant 1 and raises the dataset's floor so
+// later requests are held to at least this generation.
+func (v *verifier) checkGeneration(d *dsState, floor, got uint64, class string) {
+	v.genChecks.Add(1)
+	if got < floor {
+		v.violate("read-your-generation: %s %s: response generation %d below observed floor %d",
+			class, d.name, got, floor)
+		return
+	}
+	d.maxFloor(got)
+}
+
+// check429 enforces invariant 4 on one 429 response.
+func (v *verifier) check429(class string, askedParallelism int, retryAfter string, body []byte) {
+	v.checks429.Add(1)
+	if v.budgetSlots <= 0 {
+		v.violate("429: %s: budget has %d extra slots — exhaustion is impossible, 429 must not occur",
+			class, v.budgetSlots)
+	}
+	if askedParallelism <= 1 {
+		v.violate("429: %s: request asked parallelism %d — the budget is only consulted for parallel asks",
+			class, askedParallelism)
+	}
+	secs, err := strconv.Atoi(retryAfter)
+	if err != nil || secs < 1 || secs > 60 {
+		v.violate("429: %s: Retry-After %q is not a sane delay in [1, 60] seconds", class, retryAfter)
+	}
+	// Never partially executes: the body must be a single JSON error
+	// object, not NDJSON result lines followed by an error.
+	var e struct {
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal(body, &e); err != nil || e.Error == "" {
+		v.violate("429: %s: body is not a pure JSON error (partial execution before backpressure?): %.120s",
+			class, body)
+	}
+}
+
+func (v *verifier) summary() verifySummary {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return verifySummary{
+		GenerationChecks: v.genChecks.Load(),
+		BatchLineChecks:  v.batchLineChecks.Load(),
+		RecomputeChecks:  v.recomputeChecks.Load(),
+		RecomputeSkipped: v.recomputeSkips.Load(),
+		Checks429:        v.checks429.Load(),
+		Violations:       v.violations,
+		Examples:         append([]string(nil), v.examples...),
+	}
+}

@@ -2,7 +2,6 @@ package server
 
 import (
 	"container/list"
-	"hash/fnv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -55,10 +54,25 @@ func NewCache(shardCount, capacity int) *Cache {
 	return c
 }
 
+// fnv32a hashes a string with FNV-1a without the hash.Hash32 allocation
+// or the string-to-[]byte copy — shard() sits on every request's cache
+// Get and Put, and load profiles showed the per-call hasher allocations
+// dominating the cache's cost well before lock contention did.
+func fnv32a(key string) uint32 {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= prime32
+	}
+	return h
+}
+
 func (c *Cache) shard(key string) *cacheShard {
-	h := fnv.New32a()
-	h.Write([]byte(key))
-	return c.shards[h.Sum32()%uint32(len(c.shards))]
+	return c.shards[fnv32a(key)%uint32(len(c.shards))]
 }
 
 // Get returns the cached value for key, recording a hit or miss.

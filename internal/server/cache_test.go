@@ -2,9 +2,47 @@ package server
 
 import (
 	"fmt"
+	"hash/fnv"
 	"sync"
 	"testing"
 )
+
+// TestFNV32aMatchesStdlib pins the inlined shard hash to hash/fnv: shard
+// placement must not change across the allocation-free rewrite (a silent
+// divergence would still work, but would redistribute live entries).
+func TestFNV32aMatchesStdlib(t *testing.T) {
+	keys := []string{"", "a", "load0@3|kspr|k=5|a=auto|s=|b=|v=false|vs=0|g=true|e=0|seed=0|f=7"}
+	for i := 0; i < 64; i++ {
+		keys = append(keys, fmt.Sprintf("ds%d@%d|kspr|k=%d", i%7, i, i%11))
+	}
+	for _, key := range keys {
+		h := fnv.New32a()
+		h.Write([]byte(key))
+		if got, want := fnv32a(key), h.Sum32(); got != want {
+			t.Fatalf("fnv32a(%q) = %d, stdlib fnv = %d", key, got, want)
+		}
+	}
+}
+
+// BenchmarkCacheGetHit measures the cache hot path under parallel load —
+// the load harness's dominant cache operation. Before the inlined hash,
+// every Get allocated a hash.Hash32 plus a full []byte copy of the key.
+func BenchmarkCacheGetHit(b *testing.B) {
+	c := NewCache(8, 1024)
+	keys := make([]string, 64)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("load%d@%d|kspr|k=5|a=auto|s=|b=|v=false|vs=0|g=true|e=0|seed=0|f=%d", i%3, i, i)
+		c.Put(keys[i], i)
+	}
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			c.Get(keys[i%len(keys)])
+			i++
+		}
+	})
+}
 
 func TestCacheHitMissCounters(t *testing.T) {
 	c := NewCache(4, 64)

@@ -1,0 +1,43 @@
+package server
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// FuzzDecodeMutateRequest fuzzes the :mutate body decoder across its
+// three wire forms (JSON envelope, bare mutation object, NDJSON stream)
+// — the one parser that accepts arbitrary client bytes ahead of a
+// durable write. No input may panic; rejected bodies must carry an error
+// status; accepted batches must convert through toMutation without
+// panicking.
+func FuzzDecodeMutateRequest(f *testing.F) {
+	f.Add(`{"mutations":[{"op":"insert","values":[0.5,0.5]},{"op":"delete","id":7}]}`, false)
+	f.Add(`{"op":"update","id":3,"values":[0.25,0.75],"label":"x"}`, false)
+	f.Add("{\"op\":\"insert\",\"values\":[0.1,0.9]}\n{\"op\":\"update\",\"id\":2,\"values\":[0.3,0.7]}\n", true)
+	f.Add(`{"mutations":[]}`, false)
+	f.Add(`{"mutations":[{"op":"insert","unknown_field":1}]}`, false)
+	f.Add("not json at all", true)
+	f.Fuzz(func(t *testing.T, body string, ndjson bool) {
+		srv := &Server{} // decodeMutateRequest touches no server state
+		req := httptest.NewRequest(http.MethodPost, "/v1/datasets/fuzz:mutate", strings.NewReader(body))
+		if ndjson {
+			req.Header.Set("Content-Type", "application/x-ndjson")
+		} else {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		rec := httptest.NewRecorder()
+		ops, ok := srv.decodeMutateRequest(rec, req)
+		if !ok {
+			if rec.Code < 400 {
+				t.Fatalf("decoder rejected the body but wrote status %d", rec.Code)
+			}
+			return
+		}
+		for i, op := range ops {
+			_, _ = op.toMutation(i) // validation errors fine, panics are not
+		}
+	})
+}

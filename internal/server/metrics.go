@@ -12,15 +12,36 @@ import (
 )
 
 // latWindow is the number of most recent request latencies kept for
-// percentile estimation.
+// percentile estimation (spread across the stripes).
 const latWindow = 2048
 
 // qpsBuckets is the length (seconds) of the sliding QPS window.
 const qpsBuckets = 60
 
+// latStripes shards the latency ring and QPS buckets. A single global
+// mutex here was the first contention hot spot the load harness exposed:
+// every request of every endpoint serialized on it just to record one
+// float. Must be a power of two (stripe pick is a mask).
+const latStripes = 8
+
+// latStripe is one shard of the recent-latency ring plus its slice of the
+// QPS window. Round-robin assignment keeps the union of the stripes equal
+// to the most recent latWindow observations, and per-second QPS counts
+// sum across stripes to the exact global count.
+type latStripe struct {
+	mu     sync.Mutex
+	lat    [latWindow / latStripes]float64 // ring of latencies in milliseconds
+	latIdx int
+	latN   int
+	qps    [qpsBuckets]qpsBucket
+	// pad spaces stripes a cache line apart so neighboring locks do not
+	// false-share.
+	_ [64]byte
+}
+
 // Metrics aggregates the serving counters exposed on /metrics. All methods
-// are safe for concurrent use; the hot path is two atomics plus one small
-// mutexed ring update.
+// are safe for concurrent use; the hot path is a few atomics plus one
+// small striped ring update.
 type Metrics struct {
 	start    time.Time
 	requests atomic.Uint64
@@ -35,11 +56,8 @@ type Metrics struct {
 	whatifProbes atomic.Uint64
 	whatifKept   atomic.Uint64
 
-	mu     sync.Mutex
-	lat    [latWindow]float64 // ring of latencies in milliseconds
-	latIdx int
-	latN   int
-	qps    [qpsBuckets]qpsBucket
+	stripePick atomic.Uint64
+	stripes    [latStripes]latStripe
 
 	byEndpoint sync.Map // string -> *endpointStats
 }
@@ -89,18 +107,19 @@ func (m *Metrics) Observe(endpoint string, d time.Duration, isErr bool) {
 	es.hist.Observe(d)
 
 	sec := time.Now().Unix()
-	m.mu.Lock()
-	m.lat[m.latIdx] = float64(d) / float64(time.Millisecond)
-	m.latIdx = (m.latIdx + 1) % latWindow
-	if m.latN < latWindow {
-		m.latN++
+	st := &m.stripes[m.stripePick.Add(1)&(latStripes-1)]
+	st.mu.Lock()
+	st.lat[st.latIdx] = float64(d) / float64(time.Millisecond)
+	st.latIdx = (st.latIdx + 1) % len(st.lat)
+	if st.latN < len(st.lat) {
+		st.latN++
 	}
-	b := &m.qps[sec%qpsBuckets]
+	b := &st.qps[sec%qpsBuckets]
 	if b.sec != sec {
 		b.sec, b.n = sec, 0
 	}
 	b.n++
-	m.mu.Unlock()
+	st.mu.Unlock()
 }
 
 // AddErrors bumps the error counter by n without recording requests; used
@@ -239,17 +258,22 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 		return true
 	})
 
-	m.mu.Lock()
-	lats := make([]float64, m.latN)
-	copy(lats, m.lat[:m.latN])
-	var hits uint64
+	var (
+		lats []float64
+		hits uint64
+	)
 	cutoff := now.Unix() - qpsBuckets
-	for _, b := range m.qps {
-		if b.sec > cutoff {
-			hits += b.n
+	for i := range m.stripes {
+		st := &m.stripes[i]
+		st.mu.Lock()
+		lats = append(lats, st.lat[:st.latN]...)
+		for _, b := range st.qps {
+			if b.sec > cutoff {
+				hits += b.n
+			}
 		}
+		st.mu.Unlock()
 	}
-	m.mu.Unlock()
 
 	window := snap.UptimeSeconds
 	if window > qpsBuckets {

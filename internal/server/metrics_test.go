@@ -1,0 +1,86 @@
+package server
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestMetricsStripedLatencyWindow checks that the striped ring still
+// behaves like one latWindow-sized window: all samples are visible below
+// capacity, and the union caps at latWindow beyond it.
+func TestMetricsStripedLatencyWindow(t *testing.T) {
+	m := NewMetrics()
+	for i := 0; i < 100; i++ {
+		m.Observe("kspr", time.Millisecond, false)
+	}
+	snap := m.Snapshot()
+	if snap.Requests != 100 {
+		t.Fatalf("requests = %d, want 100", snap.Requests)
+	}
+	if snap.Latency.P50Ms <= 0 {
+		t.Fatalf("p50 = %v, want > 0 after 100 observations", snap.Latency.P50Ms)
+	}
+	for i := 0; i < latWindow*2; i++ {
+		m.Observe("kspr", 2*time.Millisecond, false)
+	}
+	total := 0
+	for i := range m.stripes {
+		st := &m.stripes[i]
+		st.mu.Lock()
+		total += st.latN
+		st.mu.Unlock()
+	}
+	if total != latWindow {
+		t.Fatalf("stripes hold %d samples, want exactly latWindow=%d", total, latWindow)
+	}
+}
+
+// TestMetricsStripedQPSSum checks that per-second request counts sum
+// exactly across stripes — striping must not change the QPS a snapshot
+// reports.
+func TestMetricsStripedQPSSum(t *testing.T) {
+	m := NewMetrics()
+	const reqs = 512
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < reqs/8; i++ {
+				m.Observe("kspr", time.Millisecond, false)
+			}
+		}()
+	}
+	wg.Wait()
+	var hits uint64
+	cutoff := time.Now().Unix() - qpsBuckets
+	for i := range m.stripes {
+		st := &m.stripes[i]
+		st.mu.Lock()
+		for _, b := range st.qps {
+			if b.sec > cutoff {
+				hits += b.n
+			}
+		}
+		st.mu.Unlock()
+	}
+	if hits != reqs {
+		t.Fatalf("qps buckets hold %d hits, want %d", hits, reqs)
+	}
+}
+
+// BenchmarkMetricsObserveParallel measures the per-request metrics
+// record under parallel load. Every request of every endpoint passes
+// through Observe, so this lock was the serving stack's only global
+// per-request serialization point before the ring was striped.
+func BenchmarkMetricsObserveParallel(b *testing.B) {
+	m := NewMetrics()
+	d := 3 * time.Millisecond
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			m.Observe("kspr", d, false)
+		}
+	})
+}

@@ -105,7 +105,10 @@ func decodePayload(payload []byte) (uint64, []Mutation, error) {
 	r := &reader{b: payload}
 	gen := r.u64()
 	n := int(r.u32())
-	if r.err != nil || n < 0 || n > len(payload) {
+	// Each mutation costs at least 9 bytes (op u8 + id u64); a count the
+	// remaining payload cannot hold is corruption, rejected before the
+	// batch allocation so a tiny frame cannot demand a huge make.
+	if r.err != nil || n < 0 || n > (len(payload)-r.off)/9 {
 		return 0, nil, fmt.Errorf("store: corrupt wal payload header")
 	}
 	muts := make([]Mutation, 0, n)
@@ -270,7 +273,11 @@ func loadSnapshot(path string) (*Version, int64, error) {
 	nextID := int64(r.u64())
 	dim := int(r.u32())
 	n := int(r.u32())
-	if r.err != nil || n < 0 {
+	// Each record costs at least 12 bytes (id u64 + values count u32), so
+	// a count beyond body/12 cannot be satisfied — reject it before the
+	// records allocation, or a CRC-valid 30-byte file claiming 4 billion
+	// records would OOM recovery.
+	if r.err != nil || n < 0 || n > (len(body)-r.off)/12 {
 		return nil, 0, fmt.Errorf("store: snapshot header corrupt")
 	}
 	recs := make([]Record, 0, n)

@@ -5,9 +5,16 @@
 //
 //	go run ./scripts/benchcmp -baseline BENCH_core.json -fresh BENCH_ci.json
 //
-// -inject multiplies the fresh numbers before comparing; the CI bench job
-// uses it to prove the gate actually fails on a slowdown (-inject 2 must
-// exit non-zero against a healthy baseline).
+// With -load-baseline/-load-fresh it instead gates the load-harness
+// summaries (cmd/ksprload -> BENCH_load.json): per-class p99 latency
+// against -load-max-regress, the error rate against the baseline plus
+// -load-max-error-delta, and the fresh run's invariant-violation count
+// against zero. Classes without enough samples for a meaningful p99 on
+// both sides are skipped, mirroring the core gate's tail rule.
+//
+// -inject multiplies the fresh numbers before comparing; the CI bench and
+// load-smoke jobs use it to prove the gates actually fail on a slowdown
+// (-inject 2 must exit non-zero against a healthy baseline).
 package main
 
 import (
@@ -18,6 +25,11 @@ import (
 	"sort"
 )
 
+// minTailSamples is the smallest sample count at which a nearest-rank
+// p95/p99 stops collapsing to the max; tails measured below it are
+// skipped rather than gated (matching cmd/ksprbench's minTailQueries).
+const minTailSamples = 20
+
 // benchFile is the subset of the BENCH_<name>.json schema the gate reads.
 type benchFile struct {
 	Name       string           `json:"name"`
@@ -25,6 +37,7 @@ type benchFile struct {
 	N          int              `json:"n"`
 	D          int              `json:"d"`
 	K          int              `json:"k"`
+	Queries    int              `json:"queries"`
 	Seed       int64            `json:"seed"`
 	CPUs       int              `json:"cpus"`
 	Algorithms map[string]int64 `json:"ns_per_op"`
@@ -61,8 +74,21 @@ func main() {
 		freshPath    = flag.String("fresh", "BENCH_ci.json", "freshly measured summary")
 		maxRegress   = flag.Float64("max-regress", 0.30, "tolerated fractional slowdown per algorithm")
 		inject       = flag.Float64("inject", 1.0, "multiply fresh ns/op by this factor (gate self-test)")
+
+		loadBaseline = flag.String("load-baseline", "", "committed cmd/ksprload summary; switches to the load gate")
+		loadFresh    = flag.String("load-fresh", "", "freshly measured cmd/ksprload summary (load gate)")
+		loadRegress  = flag.Float64("load-max-regress", 1.0, "tolerated fractional p99 slowdown per request class (load latencies are far noisier than ns/op)")
+		loadErrDelta = flag.Float64("load-max-error-delta", 0.01, "tolerated absolute error-rate increase over the baseline")
 	)
 	flag.Parse()
+
+	if *loadBaseline != "" || *loadFresh != "" {
+		if *loadBaseline == "" || *loadFresh == "" {
+			fatal(fmt.Errorf("the load gate needs both -load-baseline and -load-fresh"))
+		}
+		loadGate(*loadBaseline, *loadFresh, *loadRegress, *loadErrDelta, *inject)
+		return
+	}
 
 	baseline, err := load(*baselinePath)
 	if err != nil {
@@ -106,7 +132,15 @@ func main() {
 	}
 	// Tail-latency gate: same tolerance, applied to p95/p99 per algorithm.
 	// Both files must carry the maps (baselines predating them skip
-	// cleanly, like the what-if keys below).
+	// cleanly, like the what-if keys below), and both must have measured
+	// enough queries for a nearest-rank tail to mean anything — at tiny
+	// sample counts p95 == p99 == max and the gate compares noise.
+	tooFewSamples := baseline.Queries > 0 && baseline.Queries < minTailSamples ||
+		fresh.Queries > 0 && fresh.Queries < minTailSamples
+	if tooFewSamples {
+		fmt.Printf("  tails: skipped (baseline %d / fresh %d queries, need >= %d for meaningful p95/p99)\n",
+			baseline.Queries, fresh.Queries, minTailSamples)
+	}
 	for _, tail := range []struct {
 		label    string
 		baseline map[string]int64
@@ -115,7 +149,7 @@ func main() {
 		{"p95", baseline.AlgorithmsP95, fresh.AlgorithmsP95},
 		{"p99", baseline.AlgorithmsP99, fresh.AlgorithmsP99},
 	} {
-		if len(tail.baseline) == 0 || len(tail.fresh) == 0 {
+		if tooFewSamples || len(tail.baseline) == 0 || len(tail.fresh) == 0 {
 			continue
 		}
 		for _, name := range names {
@@ -164,4 +198,128 @@ func main() {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "benchcmp:", err)
 	os.Exit(1)
+}
+
+// ---- load gate -----------------------------------------------------------
+
+// loadFile is the subset of cmd/ksprload's BENCH_<name>.json the load
+// gate reads.
+type loadFile struct {
+	Name        string  `json:"name"`
+	Datasets    int     `json:"datasets"`
+	N           int     `json:"n"`
+	D           int     `json:"d"`
+	K           int     `json:"k"`
+	Seed        int64   `json:"seed"`
+	CPUs        int     `json:"cpus"`
+	Concurrency int     `json:"concurrency"`
+	Requests    uint64  `json:"requests_total"`
+	Throughput  float64 `json:"throughput_rps"`
+	ErrorRate   float64 `json:"error_rate"`
+
+	Mix map[string]int `json:"mix"`
+
+	Latency map[string]struct {
+		Count uint64 `json:"count"`
+		P99Ns int64  `json:"p99_ns"`
+	} `json:"latency_ns"`
+
+	Verify struct {
+		Violations uint64   `json:"violations"`
+		Examples   []string `json:"violation_examples"`
+	} `json:"verify"`
+}
+
+func loadLoadFile(path string) (loadFile, error) {
+	var f loadFile
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return f, err
+	}
+	if err := json.Unmarshal(raw, &f); err != nil {
+		return f, fmt.Errorf("%s: %w", path, err)
+	}
+	if f.Requests == 0 || len(f.Latency) == 0 {
+		return f, fmt.Errorf("%s: no measured requests", path)
+	}
+	return f, nil
+}
+
+// loadGate compares two load summaries: per-class p99 latency within
+// maxRegress, error rate within errDelta of the baseline, and zero
+// invariant violations in the fresh run. Exits the process with the
+// verdict.
+func loadGate(baselinePath, freshPath string, maxRegress, errDelta, inject float64) {
+	baseline, err := loadLoadFile(baselinePath)
+	if err != nil {
+		fatal(err)
+	}
+	fresh, err := loadLoadFile(freshPath)
+	if err != nil {
+		fatal(err)
+	}
+	if baseline.Datasets != fresh.Datasets || baseline.N != fresh.N ||
+		baseline.D != fresh.D || baseline.K != fresh.K {
+		fatal(fmt.Errorf("workload mismatch: baseline datasets=%d n=%d d=%d k=%d, fresh datasets=%d n=%d d=%d k=%d",
+			baseline.Datasets, baseline.N, baseline.D, baseline.K,
+			fresh.Datasets, fresh.N, fresh.D, fresh.K))
+	}
+
+	fmt.Printf("load gate: baseline %q (%d cpus, conc %d) vs fresh %q (%d cpus, conc %d), p99 tolerance +%.0f%%\n",
+		baseline.Name, baseline.CPUs, baseline.Concurrency,
+		fresh.Name, fresh.CPUs, fresh.Concurrency, maxRegress*100)
+
+	var failures []string
+
+	// Per-class p99, skipping classes without enough samples on both
+	// sides for a nearest-rank tail to mean anything.
+	classes := make([]string, 0, len(baseline.Latency))
+	for class := range baseline.Latency {
+		if _, ok := fresh.Latency[class]; ok {
+			classes = append(classes, class)
+		}
+	}
+	sort.Strings(classes)
+	for _, class := range classes {
+		base, now := baseline.Latency[class], fresh.Latency[class]
+		if base.Count < minTailSamples || now.Count < minTailSamples || base.P99Ns <= 0 {
+			fmt.Printf("  %-8s skipped (baseline %d / fresh %d samples, need >= %d)\n",
+				class, base.Count, now.Count, minTailSamples)
+			continue
+		}
+		p99 := int64(float64(now.P99Ns) * inject)
+		ratio := float64(p99) / float64(base.P99Ns)
+		verdict := "ok"
+		if ratio > 1+maxRegress {
+			verdict = "REGRESSED"
+			failures = append(failures, class+"/p99")
+		}
+		fmt.Printf("  %-8s %12d -> %12d p99 ns  (%.2fx)  %s\n", class, base.P99Ns, p99, ratio, verdict)
+	}
+
+	// Error rate: absolute delta over the baseline (a rate, not a ratio —
+	// a 0.0001 -> 0.0002 doubling is noise; 0.001 -> 0.02 is an outage).
+	errRate := fresh.ErrorRate * inject
+	verdict := "ok"
+	if errRate > baseline.ErrorRate+errDelta {
+		verdict = "REGRESSED"
+		failures = append(failures, "error_rate")
+	}
+	fmt.Printf("  %-8s %12.4f -> %12.4f  %s\n", "errors", baseline.ErrorRate, errRate, verdict)
+
+	// The verifier's verdict is not a tolerance: any invariant violation
+	// in the fresh run fails the gate outright.
+	if fresh.Verify.Violations > 0 {
+		failures = append(failures, "invariant_violations")
+		fmt.Printf("  verify   %d invariant violation(s): %v\n", fresh.Verify.Violations, fresh.Verify.Examples)
+	} else {
+		fmt.Printf("  verify   0 invariant violations\n")
+	}
+
+	if len(failures) > 0 {
+		fmt.Fprintf(os.Stderr, "benchcmp: load gate failed: %v\n", failures)
+		fmt.Fprintln(os.Stderr, "benchcmp: if this slowdown is intended, refresh the baseline (make load) or apply the skip-bench-gate label")
+		os.Exit(1)
+	}
+	fmt.Println("load gate: pass")
 }

@@ -22,9 +22,11 @@ fi
 
 # Re-run the exact baseline workload (scale 0.5 -> n=1000, d=4, k=10,
 # IND, seed 1). -parallel 1 skips the parallel sweep: the gate compares
-# the serial ns_per_op map plus the what-if probe latency and keep rate
-# (-whatif 16 mirrors the committed baseline's sweep).
-go run ./cmd/ksprbench -json -name ci -scale 0.5 -queries 3 -parallel 1 -whatif 16
+# the serial ns_per_op map plus the p95/p99 tails (meaningful at
+# -queries 20; benchcmp skips them below that) plus the what-if probe
+# latency and keep rate (-whatif 16 mirrors the committed baseline's
+# sweep).
+go run ./cmd/ksprbench -json -name ci -scale 0.5 -queries 20 -parallel 1 -whatif 16
 
 go run ./scripts/benchcmp \
     -baseline "$baseline" \

@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Load regression gate: replay a short cmd/ksprload run against the
+# committed BENCH_load.json baseline and fail when any request class's
+# p99 regressed beyond LOAD_MAX_REGRESS (default 1.0 — load tails across
+# different machines are far noisier than ns/op), when the error rate
+# rose more than 0.01 over the baseline, or when the fresh run reports
+# any invariant violation.
+#
+# LOAD_DURATION / LOAD_CONC shape the fresh run (CI keeps it short);
+# LOAD_INJECT multiplies the fresh p99s and error rate before comparing —
+# the CI load-smoke job runs `LOAD_INJECT=4 ./scripts/check_load.sh` and
+# asserts failure, proving the gate trips on a real slowdown.
+#
+# ksprload itself exits non-zero on invariant violations, so a failing
+# verifier stops the gate before the comparison even runs.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+baseline=BENCH_load.json
+fresh=BENCH_load_ci.json
+if [ ! -f "$baseline" ]; then
+    echo "check_load: committed baseline $baseline is missing" >&2
+    exit 1
+fi
+
+# Re-run the baseline workload shape (same datasets/n/d/k — benchcmp
+# rejects a mismatch) at a CI-friendly duration.
+go run ./cmd/ksprload \
+    -duration "${LOAD_DURATION:-5s}" \
+    -conc "${LOAD_CONC:-8}" \
+    -name load_ci
+
+go run ./scripts/benchcmp \
+    -load-baseline "$baseline" \
+    -load-fresh "$fresh" \
+    -load-max-regress "${LOAD_MAX_REGRESS:-1.0}" \
+    -inject "${LOAD_INJECT:-1}"
