@@ -1,6 +1,10 @@
 GO ?= go
 
-.PHONY: build test race racestress bench fmt vet docs lint coverage benchgate load loadgate fuzz crashsmoke ci clean
+# Single source of truth for the staticcheck pin; CI installs the same
+# version (see .github/workflows/ci.yml).
+STATICCHECK_VERSION := $(shell cat scripts/staticcheck_version.txt)
+
+.PHONY: build test race racestress bench fmt vet docs lint coverage benchgate largengate load loadgate fuzz crashsmoke ci clean
 
 build:
 	$(GO) build ./...
@@ -23,13 +27,15 @@ racestress:
 # live-dataset sweep (WAL apply throughput and incremental-vs-cold kSPR
 # maintenance over 48 mutations), plus the what-if sweep (a 16-point
 # impact-price frontier and a repricing bisection, recording probe latency
-# and the incremental keep rate) — the perf trajectory successive PRs diff
+# and the incremental keep rate), plus the large-N sweep (columnar-kernel
+# timings at n = 1e3..1e6; the 1e6 point lands in ns_per_op_n1e6, which
+# the large-n CI lane gates) — the perf trajectory successive PRs diff
 # against. -parallel and -batch are pinned so the file's schema does not
 # depend on the host's core count (the recorded "cpus" field tells you how
 # much hardware the speedups had to work with; on a 1-CPU container both
 # hover near 1.0x by physics).
 bench:
-	$(GO) run ./cmd/ksprbench -json -name core -scale 0.5 -queries 20 -parallel 4 -batch 8 -mutate 48 -whatif 16
+	$(GO) run ./cmd/ksprbench -json -name core -scale 0.5 -queries 20 -parallel 4 -batch 8 -mutate 48 -whatif 16 -n 1000000
 
 fmt:
 	gofmt -l .
@@ -45,13 +51,14 @@ docs:
 	./scripts/check_docs.sh
 
 # lint mirrors CI's staticcheck step when the tool is installed locally
-# (go install honnef.co/go/tools/cmd/staticcheck@2025.1.1); it skips with a
-# note otherwise, so `make ci` works on minimal machines.
+# (go install honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION) —
+# the pin lives in scripts/staticcheck_version.txt, shared with CI); it
+# skips with a note otherwise, so `make ci` works on minimal machines.
 lint:
 	@if command -v staticcheck >/dev/null 2>&1; then \
 		staticcheck ./... ; \
 	else \
-		echo "lint: staticcheck not installed, skipping (CI runs it)" ; \
+		echo "lint: staticcheck not installed, skipping (CI pins staticcheck@$(STATICCHECK_VERSION))" ; \
 	fi
 
 # coverage enforces the committed floor in scripts/coverage_floor.txt.
@@ -63,6 +70,13 @@ coverage:
 # scripts/check_bench.sh).
 benchgate:
 	./scripts/check_bench.sh
+
+# largengate re-measures the 1e6-record columnar-kernel sweep and fails on
+# >50% regression against BENCH_core.json's ns_per_op_n1e6 map
+# (LARGEN_MAX_REGRESS / LARGEN_INJECT override; see
+# scripts/check_largen.sh).
+largengate:
+	./scripts/check_largen.sh
 
 # load refreshes the committed BENCH_load.json baseline: a 10s mixed
 # kspr/batch/mutate/what-if run of cmd/ksprload against a self-hosted
@@ -79,15 +93,16 @@ load:
 loadgate:
 	./scripts/check_load.sh
 
-# fuzz smoke-runs the native Go fuzz targets over the two untrusted
-# parsers — :mutate body decoding (internal/server) and WAL frame /
-# snapshot decoding (internal/store) — for FUZZTIME each, on top of their
-# committed seed corpora in testdata/fuzz/.
+# fuzz smoke-runs the native Go fuzz targets over the untrusted parsers —
+# :mutate body decoding (internal/server) and WAL frame / snapshot /
+# candidate-index decoding (internal/store) — for FUZZTIME each, on top
+# of their committed seed corpora in testdata/fuzz/.
 FUZZTIME ?= 10s
 fuzz:
 	$(GO) test ./internal/server -run '^$$' -fuzz FuzzDecodeMutateRequest -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/store -run '^$$' -fuzz FuzzDecodeWALPayload -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/store -run '^$$' -fuzz FuzzLoadSnapshot -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/store -run '^$$' -fuzz FuzzDecodeIndex -fuzztime $(FUZZTIME)
 
 # crashsmoke kills a WAL-backed ksprd mid-mutation-stream with SIGKILL,
 # restarts it over the same store directory, and asserts recovery restores
@@ -97,8 +112,8 @@ crashsmoke:
 
 # ci mirrors the GitHub workflow locally: formatting, vet, build, race
 # tests, doc gates, the crash-recovery smoke test, lint, the coverage
-# floor, the bench regression gate, a short fuzz smoke, and the load
-# regression gate.
+# floor, the bench regression gate, the large-N regression gate, a short
+# fuzz smoke, and the load regression gate.
 ci:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 	$(GO) vet ./...
@@ -111,8 +126,9 @@ ci:
 	$(MAKE) lint
 	$(MAKE) coverage
 	$(MAKE) benchgate
+	$(MAKE) largengate
 	$(MAKE) fuzz FUZZTIME=5s
 	$(MAKE) loadgate
 
 clean:
-	rm -f BENCH_ci.json BENCH_load_ci.json cover.out cpu.out mutex.out
+	rm -f BENCH_ci.json BENCH_largen.json BENCH_load_ci.json cover.out cpu.out mutex.out

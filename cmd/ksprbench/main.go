@@ -60,6 +60,7 @@ func main() {
 		batch   = flag.Int("batch", 0, "batch sweep focal count for -json (0 = skip, otherwise >= 2)")
 		mutN    = flag.Int("mutate", 0, "mutation sweep size for -json: WAL apply throughput + incremental-vs-cold maintenance over this many mutations (0 = skip)")
 		whatN   = flag.Int("whatif", 0, "what-if sweep for -json: an impact-price frontier of this many grid points plus a repricing search, recording whatif_probe_ns and whatif_keep_rate (0 = skip, otherwise >= 2)")
+		largeN  = flag.Float64("n", 0, "large-N sweep for -json: time the columnar kernels at n = 1e3, 1e4, ... up to this cardinality (accepts 1e6 notation; 0 = skip, otherwise >= 1000)")
 	)
 	flag.Parse()
 
@@ -89,9 +90,15 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	topN := int(*largeN)
+	if *largeN != 0 && (topN < 1000 || float64(topN) != *largeN) {
+		fmt.Fprintf(os.Stderr, "ksprbench: -n must be 0 (skip) or an integer >= 1000, got %g\n", *largeN)
+		flag.Usage()
+		os.Exit(2)
+	}
 
 	if *asJSON {
-		if err := runBenchJSON(*name, *dist, *dims, *kFlag, *scale, *queries, *seed, *par, *batch, *mutN, *whatN); err != nil {
+		if err := runBenchJSON(*name, *dist, *dims, *kFlag, *scale, *queries, *seed, *par, *batch, *mutN, *whatN, topN); err != nil {
 			fmt.Fprintln(os.Stderr, "ksprbench:", err)
 			os.Exit(1)
 		}
@@ -201,13 +208,37 @@ type benchSummary struct {
 	WhatIfKeepRate float64 `json:"whatif_keep_rate,omitempty"`
 	WhatIfKept     int     `json:"whatif_kept,omitempty"`
 	WhatIfPriceNs  int64   `json:"whatif_price_ns,omitempty"`
+	// Large-N sweep (-n N): dataset-cardinality scaling of the columnar
+	// kernels, measured at n = 1e3, 1e4, ... up to N on a fixed
+	// largen_d / largen_k workload (3 dimensions, k=5 — chosen so the
+	// top point finishes in CI). Each point times index construction
+	// (kspr.Open: flat packing + STR bulk load), one k-skyband
+	// extraction, one TopK traversal, one flat Rank scan, and one LP-CTA
+	// kSPR query without geometry on a skyband focal. When the sweep
+	// reaches exactly n = 1e6 that point is mirrored into ns_per_op_n1e6,
+	// the map benchcmp's large-n gate diffs across PRs.
+	LargeNTop   int              `json:"largen_top,omitempty"`
+	LargeND     int              `json:"largen_d,omitempty"`
+	LargeNK     int              `json:"largen_k,omitempty"`
+	LargeNSweep []largeNPoint    `json:"largen_sweep,omitempty"`
+	LargeN1e6   map[string]int64 `json:"ns_per_op_n1e6,omitempty"`
+}
+
+// largeNPoint is one cardinality of the large-N sweep.
+type largeNPoint struct {
+	N         int   `json:"n"`
+	BuildNs   int64 `json:"build_ns"`
+	SkybandNs int64 `json:"skyband_ns"`
+	TopKNs    int64 `json:"topk_ns"`
+	RankNs    int64 `json:"rank_ns"`
+	KSPRNs    int64 `json:"kspr_ns"`
 }
 
 // runBenchJSON times every algorithm on one synthetic workload — serially,
 // unless par == 1 again on a par-worker engine, and with nb > 0 as an
 // nb-focal batch versus nb serial runs — and writes the ns/op summary to
 // BENCH_<name>.json in the working directory.
-func runBenchJSON(name, dist string, d, k int, scale float64, queries int, seed int64, par, nb, nm, nw int) error {
+func runBenchJSON(name, dist string, d, k int, scale float64, queries int, seed int64, par, nb, nm, nw, topN int) error {
 	n := int(2000 * scale)
 	if n < 100 {
 		n = 100
@@ -379,6 +410,12 @@ func runBenchJSON(name, dist string, d, k int, scale float64, queries int, seed 
 		}
 	}
 
+	if topN > 0 {
+		if err := runLargeNSweep(&sum, dist, seed, topN); err != nil {
+			return err
+		}
+	}
+
 	// The approximate query is part of the serving surface; track it too.
 	var approxTotal int64
 	approxLats := make([]int64, 0, len(focals))
@@ -444,6 +481,108 @@ func writeBenchFile(out string, sum *benchSummary, dist string, n, d, k, queries
 		return err
 	}
 	fmt.Printf("wrote %s (%s n=%d d=%d k=%d, %d queries)\n", out, dist, n, d, k, queries)
+	return nil
+}
+
+// largeND / largeNK fix the large-N sweep's workload shape: 3 attributes
+// and a shortlist of 5 keep even the 1e6-record kSPR point inside a CI
+// budget while the linear-in-n kernels (packing, STR sort, skyband scan,
+// rank scan) dominate — which is what the sweep is meant to watch.
+const (
+	largeND = 3
+	largeNK = 5
+)
+
+// bestOf runs f iters times and returns the fastest wall-clock time in
+// nanoseconds.
+func bestOf(iters int, f func()) int64 {
+	best := int64(math.MaxInt64)
+	for i := 0; i < iters; i++ {
+		start := time.Now()
+		f()
+		if ns := time.Since(start).Nanoseconds(); ns < best {
+			best = ns
+		}
+	}
+	return best
+}
+
+// runLargeNSweep times the columnar kernels across dataset cardinalities
+// 1e3, 1e4, ... up to topN (topN itself is always the last point).
+func runLargeNSweep(sum *benchSummary, dist string, seed int64, topN int) error {
+	var points []int
+	for n := 1000; n < topN; n *= 10 {
+		points = append(points, n)
+	}
+	points = append(points, topN)
+
+	sum.LargeNTop, sum.LargeND, sum.LargeNK = topN, largeND, largeNK
+	for _, n := range points {
+		ds, err := dataset.Generate(dataset.Distribution(dist), n, largeND, seed)
+		if err != nil {
+			return fmt.Errorf("large-n %d: %w", n, err)
+		}
+		recs := ds.Float64s()
+
+		// Every kernel is timed over repeated runs and recorded as the
+		// minimum — single-shot timings at this scale jitter past any
+		// sane gate tolerance, and the minimum is the noise-robust
+		// estimator for a deterministic kernel. Build gets two runs (it
+		// is seconds of work); the sub-second kernels get three.
+		var db *kspr.DB
+		var openErr error
+		p := largeNPoint{N: n}
+		p.BuildNs = bestOf(2, func() {
+			d, err := kspr.Open(recs)
+			if err != nil {
+				openErr = err
+				return
+			}
+			db = d
+		})
+		if openErr != nil {
+			return fmt.Errorf("large-n %d: %w", n, openErr)
+		}
+
+		var band []int
+		p.SkybandNs = bestOf(3, func() { band = db.KSkyband(largeNK) })
+		if len(band) == 0 {
+			return fmt.Errorf("large-n %d: empty %d-skyband", n, largeNK)
+		}
+
+		w := make([]float64, largeND)
+		for j := range w {
+			w[j] = 1.0 / float64(largeND)
+		}
+		p.TopKNs = bestOf(3, func() { db.TopK(w, largeNK) })
+
+		focal := band[len(band)/2]
+		p.RankNs = bestOf(3, func() { db.Rank(focal, w) })
+
+		var ksprErr error
+		p.KSPRNs = bestOf(3, func() {
+			if _, err := db.KSPR(focal, largeNK, kspr.WithAlgorithm(kspr.LPCTA),
+				kspr.WithoutGeometry(), kspr.WithParallelism(1)); err != nil {
+				ksprErr = err
+			}
+		})
+		if ksprErr != nil {
+			return fmt.Errorf("large-n %d: kSPR: %w", n, ksprErr)
+		}
+
+		sum.LargeNSweep = append(sum.LargeNSweep, p)
+		fmt.Printf("%-10s n=%-8d build %12d skyband %12d topk %10d rank %10d kspr %12d ns\n",
+			"large-n", n, p.BuildNs, p.SkybandNs, p.TopKNs, p.RankNs, p.KSPRNs)
+		if n == 1_000_000 {
+			sum.LargeN1e6 = map[string]int64{
+				"build":   p.BuildNs,
+				"skyband": p.SkybandNs,
+				"topk":    p.TopKNs,
+				"rank":    p.RankNs,
+				"kspr":    p.KSPRNs,
+			}
+		}
+	}
 	return nil
 }
 

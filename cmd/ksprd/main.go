@@ -115,8 +115,12 @@ func main() {
 			fatal(err)
 		}
 		for _, snap := range snaps {
-			fmt.Fprintf(os.Stderr, "ksprd: recovered %q: %d records, d=%d (store generation %d)\n",
-				snap.Name, snap.DB.Len(), snap.DB.Dim(), snap.StoreGeneration)
+			idx := "index cold"
+			if snap.DB.IndexWarm() {
+				idx = "index warm"
+			}
+			fmt.Fprintf(os.Stderr, "ksprd: recovered %q: %d records, d=%d (store generation %d, %s)\n",
+				snap.Name, snap.DB.Len(), snap.DB.Dim(), snap.StoreGeneration, idx)
 		}
 	}
 	for _, spec := range preload {

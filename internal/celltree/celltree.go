@@ -180,15 +180,20 @@ type Tree struct {
 	PrunedCells atomic.Int64
 
 	// solver is the root insertion task's reusable LP workspace; forked
-	// tasks draw theirs from solverPool, so arenas survive across forks
-	// and inserts instead of being rebuilt per task.
-	solver     *lp.Solver
-	solverPool sync.Pool
+	// tasks draw theirs from the package-level solver pool, so arenas
+	// survive across forks and inserts instead of being rebuilt per task.
+	solver *lp.Solver
 }
+
+// solverPool shares LP workspaces across every cell tree in the process:
+// a tree lives for one kSPR query, and without the shared pool each
+// query rebuilt its simplex arenas from scratch — a dominant source of
+// GC pressure at large candidate counts.
+var solverPool sync.Pool
 
 // takeSolver hands a pooled task solver out, rebound to the task's stats.
 func (t *Tree) takeSolver(stats *lp.Stats) *lp.Solver {
-	if sv, ok := t.solverPool.Get().(*lp.Solver); ok {
+	if sv, ok := solverPool.Get().(*lp.Solver); ok {
 		sv.SetStats(stats)
 		return sv
 	}
@@ -198,7 +203,17 @@ func (t *Tree) takeSolver(stats *lp.Stats) *lp.Solver {
 // putSolver returns a task solver to the pool once its task has finished.
 func (t *Tree) putSolver(sv *lp.Solver) {
 	sv.SetStats(nil)
-	t.solverPool.Put(sv)
+	solverPool.Put(sv)
+}
+
+// ReleaseSolvers returns the tree's root solver to the shared pool. Call
+// it when the tree is done with insertions (end of query); the tree
+// remains usable, lazily re-acquiring a solver if needed.
+func (t *Tree) ReleaseSolvers() {
+	if t.solver != nil {
+		t.putSolver(t.solver)
+		t.solver = nil
+	}
 }
 
 // New creates a CellTree whose root covers the whole preference space.
@@ -299,7 +314,7 @@ func (t *Tree) Insert(h geom.Hyperplane, domIDs map[int]bool) error {
 		negIDs: make(map[int]int),
 	}
 	if t.solver == nil {
-		t.solver = lp.NewSolver(nil)
+		t.solver = t.takeSolver(nil)
 	}
 	t.solver.SetStats(&ctx.lpStats)
 	ctx.solver = t.solver

@@ -36,6 +36,7 @@ import (
 
 	"repro/internal/celltree"
 	"repro/internal/geom"
+	"repro/internal/kernel"
 	"repro/internal/lp"
 	"repro/internal/rtree"
 )
@@ -130,14 +131,11 @@ func newBatchShared(tree *rtree.Tree, maxK int) (*batchShared, error) {
 	for i, id := range band {
 		s.recs[i] = tree.Records[id]
 	}
-	for i := range s.recs {
-		for j := range s.recs {
-			if i != j && geom.Dominates(s.recs[j], s.recs[i]) {
-				s.domCnt[i]++
-				s.domAdj[i] = append(s.domAdj[i], int32(j))
-			}
-		}
-	}
+	// The quadratic dominance table runs over a gathered flat copy of the
+	// band records (see internal/kernel): one contiguous array instead of
+	// a slice-of-slices walk.
+	rows := kernel.PackRows(s.recs, tree.Dim)
+	kernel.PairwiseDominators(rows, len(band), tree.Dim, s.domCnt, s.domAdj)
 	var err error
 	s.candTree, err = rtree.Build(s.recs)
 	if err != nil {

@@ -105,6 +105,28 @@ type cellBounds struct {
 	// preference spaces; higher dimensions fall back to the LP bounds the
 	// paper describes.
 	verts []geom.Vector
+	// objA/objB are reusable objective buffers for recordObj and
+	// diffInterval, replacing the per-record allocations that dominated
+	// the rank traversal's GC pressure at large candidate counts. Two
+	// buffers, because groupDecide holds the low- and high-corner
+	// objectives simultaneously.
+	objA, objB geom.Vector
+}
+
+// scratchA returns the first reusable objective buffer at length n.
+func (cb *cellBounds) scratchA(n int) geom.Vector {
+	if cap(cb.objA) < n {
+		cb.objA = make(geom.Vector, n)
+	}
+	return cb.objA[:n]
+}
+
+// scratchB returns the second reusable objective buffer at length n.
+func (cb *cellBounds) scratchB(n int) geom.Vector {
+	if cap(cb.objB) < n {
+		cb.objB = make(geom.Vector, n)
+	}
+	return cb.objB[:n]
 }
 
 // boundEps is the safety margin rank-bound comparisons keep from strict
@@ -227,7 +249,7 @@ func (r *runner) interval(cb *cellBounds, obj geom.Vector, c float64) (float64, 
 // diffInterval returns min (wantMax=false) or max of (v - focal)·w over the
 // cell closure.
 func (r *runner) diffInterval(cb *cellBounds, v geom.Vector, wantMax bool) (float64, error) {
-	obj := make(geom.Vector, len(v))
+	obj := cb.scratchA(len(v))
 	for j := range obj {
 		obj[j] = v[j] - r.focal[j]
 	}
@@ -372,13 +394,15 @@ func (r *runner) cornerVectors(cb *cellBounds) (geom.Vector, geom.Vector, error)
 }
 
 // recordObj returns the score objective of a data-space vector v in the
-// processing space, as (objective, constant).
-func (r *runner) recordObj(v geom.Vector) (geom.Vector, float64) {
+// processing space, as (objective, constant). In the transformed space
+// the objective is written into dst (a cellBounds scratch buffer); the
+// original space returns v itself.
+func (r *runner) recordObj(v, dst geom.Vector) (geom.Vector, float64) {
 	if r.opts.Space == Original {
 		return v, 0
 	}
 	d := r.tree.Dim
-	obj := make(geom.Vector, r.dim)
+	obj := dst[:r.dim]
 	for j := 0; j < r.dim; j++ {
 		obj[j] = v[j] - v[d-1]
 	}
@@ -434,8 +458,8 @@ func (r *runner) groupDecide(e *rtree.Entry, cb *cellBounds, lower, upper *int) 
 		}
 	}
 	// Tight group bounds (§6.2): interval of S over [GL, GU] across the cell.
-	loObj, loC := r.recordObj(e.Low)
-	hiObj, hiC := r.recordObj(e.High)
+	loObj, loC := r.recordObj(e.Low, cb.scratchA(r.dim))
+	hiObj, hiC := r.recordObj(e.High, cb.scratchB(r.dim))
 	if cb.verts != nil {
 		gLo, _ := intervalOverVertices(cb.verts, loObj, loC)
 		_, gHi := intervalOverVertices(cb.verts, hiObj, hiC)
@@ -495,7 +519,7 @@ func (r *runner) recordDecide(rec geom.Vector, cb *cellBounds, lower, upper *int
 			return nil
 		}
 	}
-	obj, c := r.recordObj(rec)
+	obj, c := r.recordObj(rec, cb.scratchA(r.dim))
 	rLo, rHi, err := r.interval(cb, obj, c)
 	if err != nil {
 		return err

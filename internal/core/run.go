@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 
 	"repro/internal/celltree"
@@ -11,6 +12,28 @@ import (
 	"repro/internal/lp"
 	"repro/internal/rtree"
 )
+
+// querySolverPool shares LP workspaces across standalone queries: the
+// serial-path solver and the per-worker rank-bound solvers are drawn
+// here and returned when the query finishes, so repeated queries stop
+// rebuilding simplex arenas. Batch queries are excluded — their arenas
+// are owned by the batch scheduler's slots.
+var querySolverPool sync.Pool
+
+// getPooledSolver draws a solver from the query pool, rebound to stats.
+func getPooledSolver(stats *lp.Stats) *lp.Solver {
+	if sv, ok := querySolverPool.Get().(*lp.Solver); ok {
+		sv.SetStats(stats)
+		return sv
+	}
+	return lp.NewSolver(stats)
+}
+
+// putPooledSolver returns a solver to the query pool.
+func putPooledSolver(sv *lp.Solver) {
+	sv.SetStats(nil)
+	querySolverPool.Put(sv)
+}
 
 // Run answers a kSPR query: it reports every region of the preference space
 // where focal ranks within the top opts.K records of the indexed dataset.
@@ -46,6 +69,10 @@ func runQuery(tree *rtree.Tree, focal geom.Vector, focalID int, opts Options,
 		r.solver = arena
 	}
 	res, err := r.run()
+	// All insertion forks and rank-bound workers have joined: hand the
+	// query's pooled LP workspaces back (on the error path too — solvers
+	// carry no state between solves).
+	r.releaseSolvers()
 	if err != nil {
 		return nil, err
 	}
@@ -97,8 +124,11 @@ type runner struct {
 	// candidates or no look-ahead.
 	boundsIdx *rtree.Tree
 	// solver is the coordinating goroutine's reusable LP workspace; engine
-	// workers get their own (see parallel.go).
-	solver *lp.Solver
+	// workers get their own (see parallel.go). pooledSolver marks it as
+	// drawn from querySolverPool (standalone path) rather than owned by a
+	// batch scheduler slot.
+	solver       *lp.Solver
+	pooledSolver bool
 	// workerSolvers / workerStats are the rank-bound workers' persistent
 	// arenas, created once per query so solver workspaces survive across
 	// progressive batches.
@@ -120,13 +150,33 @@ type runner struct {
 	result *Result
 }
 
-// lpSolver returns the runner's serial-path LP solver, created on first
-// use and accounting into the query's LP totals.
+// lpSolver returns the runner's serial-path LP solver, drawn from the
+// query pool on first use and accounting into the query's LP totals.
 func (r *runner) lpSolver() *lp.Solver {
 	if r.solver == nil {
-		r.solver = lp.NewSolver(&r.lpStats)
+		r.solver = getPooledSolver(&r.lpStats)
+		r.pooledSolver = true
 	}
 	return r.solver
+}
+
+// releaseSolvers returns every pooled LP workspace the query acquired:
+// the serial-path solver (unless it is a batch-owned arena), the rank
+// bound workers' solvers, and the cell tree's insertion solver. Called
+// once per query after all workers have joined.
+func (r *runner) releaseSolvers() {
+	if r.pooledSolver {
+		putPooledSolver(r.solver)
+		r.solver = nil
+		r.pooledSolver = false
+	}
+	for _, sv := range r.workerSolvers {
+		putPooledSolver(sv)
+	}
+	r.workerSolvers = nil
+	if r.ct != nil {
+		r.ct.ReleaseSolvers()
+	}
 }
 
 // lpWorkerSolvers returns the query's persistent per-worker solvers with
@@ -138,7 +188,7 @@ func (r *runner) lpWorkerSolvers(workers int) ([]*lp.Solver, []lp.Stats) {
 		r.workerStats = make([]lp.Stats, workers)
 		r.workerSolvers = make([]*lp.Solver, workers)
 		for w := range r.workerSolvers {
-			r.workerSolvers[w] = lp.NewSolver(&r.workerStats[w])
+			r.workerSolvers[w] = getPooledSolver(&r.workerStats[w])
 		}
 	}
 	for w := range r.workerStats {
@@ -346,7 +396,10 @@ func (r *runner) kSkybandCandidates() []int {
 	if r.shared != nil {
 		return r.shared.skyband(r.tree, r.opts.K, r.focalID)
 	}
-	return r.tree.KSkyband(r.opts.K, func(id int) bool { return id == r.focalID })
+	// KSkybandExcluding serves from the tree's persisted band table when
+	// one is attached (warm-loaded index) and falls back to the BBS
+	// traversal otherwise — identical output either way.
+	return r.tree.KSkybandExcluding(r.opts.K, r.focalID)
 }
 
 // kSkybandIDs returns the K-skyband of the dataset minus skipped records

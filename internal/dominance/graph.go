@@ -6,13 +6,20 @@ package dominance
 
 import (
 	"repro/internal/geom"
+	"repro/internal/kernel"
 )
 
 // Graph tracks dominance relationships among a growing set of records.
+// Record coordinates live in one flat row-major array (appended on Add),
+// so wiring a new record compares it against contiguous memory instead
+// of chasing a map of per-record slices — the O(m^2) edge construction
+// is the progressive engine's dominance hot loop.
 // The zero value is not usable; call New.
 type Graph struct {
 	ids  []int
-	vecs map[int]geom.Vector
+	pos  map[int]int // id -> row index into vals
+	vals []float64   // row-major record coordinates, d per row
+	d    int         // set by the first Add
 	// dominators[id] lists the processed records that dominate id.
 	dominators map[int][]int
 	// dominatees[id] lists the processed records dominated by id.
@@ -22,7 +29,7 @@ type Graph struct {
 // New returns an empty dominance graph.
 func New() *Graph {
 	return &Graph{
-		vecs:       make(map[int]geom.Vector),
+		pos:        make(map[int]int),
 		dominators: make(map[int][]int),
 		dominatees: make(map[int][]int),
 	}
@@ -31,26 +38,31 @@ func New() *Graph {
 // Add inserts a record and wires its dominance edges to every record
 // already in the graph. Adding an existing id is a no-op.
 func (g *Graph) Add(id int, v geom.Vector) {
-	if _, ok := g.vecs[id]; ok {
+	if _, ok := g.pos[id]; ok {
 		return
 	}
-	for _, other := range g.ids {
-		switch geom.Compare(g.vecs[other], v) {
-		case geom.DomFirst:
+	if len(g.ids) == 0 {
+		g.d = len(v)
+	}
+	d := g.d
+	for row, other := range g.ids {
+		switch kernel.CompareFlat(g.vals[row*d:(row+1)*d], v, d) {
+		case kernel.CmpFirst:
 			g.dominators[id] = append(g.dominators[id], other)
 			g.dominatees[other] = append(g.dominatees[other], id)
-		case geom.DomSecond:
+		case kernel.CmpSecond:
 			g.dominators[other] = append(g.dominators[other], id)
 			g.dominatees[id] = append(g.dominatees[id], other)
 		}
 	}
+	g.pos[id] = len(g.ids)
 	g.ids = append(g.ids, id)
-	g.vecs[id] = v
+	g.vals = append(g.vals, v...)
 }
 
 // Has reports whether id is in the graph.
 func (g *Graph) Has(id int) bool {
-	_, ok := g.vecs[id]
+	_, ok := g.pos[id]
 	return ok
 }
 
@@ -67,4 +79,10 @@ func (g *Graph) Dominators(id int) []int { return g.dominators[id] }
 func (g *Graph) Dominatees(id int) []int { return g.dominatees[id] }
 
 // Vector returns the stored record for id (nil if absent).
-func (g *Graph) Vector(id int) geom.Vector { return g.vecs[id] }
+func (g *Graph) Vector(id int) geom.Vector {
+	row, ok := g.pos[id]
+	if !ok {
+		return nil
+	}
+	return geom.Vector(g.vals[row*g.d : (row+1)*g.d : (row+1)*g.d])
+}

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"repro/internal/geom"
+	"repro/internal/kernel"
 )
 
 // ExcludeFunc filters records out of a query; nil means exclude nothing.
@@ -38,7 +39,7 @@ func (h *entryHeap) Pop() interface{} {
 // dominator of a record is examined before the record itself.
 func (t *Tree) Skyline(exclude ExcludeFunc) []int {
 	var sky []int
-	skyVecs := make([]geom.Vector, 0, 16)
+	band := kernel.NewBand(t.Dim)
 	h := &entryHeap{}
 	t.visit(t.Root)
 	for _, e := range t.Root.Entries {
@@ -47,13 +48,13 @@ func (t *Tree) Skyline(exclude ExcludeFunc) []int {
 	for h.Len() > 0 {
 		it := heap.Pop(h).(heapItem)
 		e := it.entry
-		if dominatedByAny(skyVecs, e.High) {
+		if band.AnyDominates(e.High) {
 			continue
 		}
 		if e.Child != nil {
 			t.visit(e.Child)
 			for _, ce := range e.Child.Entries {
-				if !dominatedByAny(skyVecs, ce.High) {
+				if !band.AnyDominates(ce.High) {
 					heap.Push(h, heapItem{ce, ce.High.Sum()})
 				}
 			}
@@ -63,34 +64,93 @@ func (t *Tree) Skyline(exclude ExcludeFunc) []int {
 			continue
 		}
 		r := t.Records[e.RecordID]
-		if !dominatedByAny(skyVecs, r) {
+		if !band.AnyDominates(r) {
 			sky = append(sky, e.RecordID)
-			skyVecs = append(skyVecs, r)
+			band.Push(r)
 		}
 	}
 	sort.Ints(sky)
 	return sky
 }
 
-func dominatedByAny(vs []geom.Vector, x geom.Vector) bool {
-	for _, v := range vs {
-		if geom.Dominates(v, x) {
-			return true
-		}
-	}
-	return false
-}
-
 // KSkyband returns the IDs of records dominated by fewer than k others
 // (again honouring exclude). It generalizes Skyline (k=1). Counting only
 // skyband dominators is exact by transitivity: a pruned dominator itself
 // has >= k skyband dominators, which also dominate the candidate.
+//
+// When the tree carries a BandTable deep enough for k and no exclusion
+// filter is given, the answer is read straight off the table — the table
+// is a previous traversal's output over the identical tree, so the
+// served ids match a live traversal exactly.
 func (t *Tree) KSkyband(k int, exclude ExcludeFunc) []int {
 	if k <= 0 {
 		return nil
 	}
-	var band []int
-	var bandVecs []geom.Vector
+	if exclude == nil && t.Band != nil && k <= t.Band.K {
+		band := make([]int, 0, len(t.Band.IDs))
+		for i, id := range t.Band.IDs {
+			if int(t.Band.Cnt[i]) < k {
+				band = append(band, int(id))
+			}
+		}
+		return band // table ids are already ascending
+	}
+	band, _ := t.kSkybandScan(k, exclude)
+	return band
+}
+
+// KSkybandExcluding returns the k-skyband of the dataset with the single
+// record focalID removed, the exclusion every kSPR query needs (the
+// focal record does not compete with itself). A negative focalID
+// excludes nothing. With a BandTable of depth > k the answer is derived
+// from the table by the exact discount rule: removing the focal record
+// lowers a record's dominator count by one iff the focal dominates it —
+// which can pull records with exactly k dominators into the band, all of
+// which the table holds because its depth exceeds k.
+func (t *Tree) KSkybandExcluding(k, focalID int) []int {
+	if focalID < 0 {
+		return t.KSkyband(k, nil)
+	}
+	if k > 0 && t.Band != nil && k < t.Band.K && focalID < len(t.Records) {
+		focal := t.Records[focalID]
+		band := make([]int, 0, len(t.Band.IDs))
+		for i, id := range t.Band.IDs {
+			if int(id) == focalID {
+				continue
+			}
+			cnt := int(t.Band.Cnt[i])
+			if geom.Dominates(focal, t.Records[id]) {
+				cnt--
+			}
+			if cnt < k {
+				band = append(band, int(id))
+			}
+		}
+		return band
+	}
+	return t.KSkyband(k, func(id int) bool { return id == focalID })
+}
+
+// KSkybandCounts runs the k-skyband traversal and returns, besides the
+// member ids (ascending), each member's exact dominator count. Counting
+// against the band-so-far is exact for admitted members: any dominator
+// of a member has strictly fewer dominators itself (its dominators all
+// dominate the member too), hence is in the band, and its strictly
+// larger coordinate sum means the BBS order admitted it first. This is
+// what BandTable persistence is built from.
+func (t *Tree) KSkybandCounts(k int, exclude ExcludeFunc) ([]int, []int32) {
+	if k <= 0 {
+		return nil, nil
+	}
+	return t.kSkybandScan(k, exclude)
+}
+
+// kSkybandScan is the shared BBS k-skyband traversal, returning members
+// sorted ascending with their dominator counts.
+func (t *Tree) kSkybandScan(k int, exclude ExcludeFunc) ([]int, []int32) {
+	var ids []int
+	var cnts []int32
+	band := kernel.NewBand(t.Dim)
 	h := &entryHeap{}
 	t.visit(t.Root)
 	for _, e := range t.Root.Entries {
@@ -99,13 +159,13 @@ func (t *Tree) KSkyband(k int, exclude ExcludeFunc) []int {
 	for h.Len() > 0 {
 		it := heap.Pop(h).(heapItem)
 		e := it.entry
-		if countDominators(bandVecs, e.High) >= k {
+		if band.CountDominatorsCapped(e.High, k) >= k {
 			continue
 		}
 		if e.Child != nil {
 			t.visit(e.Child)
 			for _, ce := range e.Child.Entries {
-				if countDominators(bandVecs, ce.High) < k {
+				if band.CountDominatorsCapped(ce.High, k) < k {
 					heap.Push(h, heapItem{ce, ce.High.Sum()})
 				}
 			}
@@ -115,23 +175,27 @@ func (t *Tree) KSkyband(k int, exclude ExcludeFunc) []int {
 			continue
 		}
 		r := t.Records[e.RecordID]
-		if countDominators(bandVecs, r) < k {
-			band = append(band, e.RecordID)
-			bandVecs = append(bandVecs, r)
+		if c := band.CountDominatorsCapped(r, k); c < k {
+			ids = append(ids, e.RecordID)
+			cnts = append(cnts, int32(c))
+			band.Push(r)
 		}
 	}
-	sort.Ints(band)
-	return band
+	sort.Sort(&bandByID{ids, cnts})
+	return ids, cnts
 }
 
-func countDominators(vs []geom.Vector, x geom.Vector) int {
-	n := 0
-	for _, v := range vs {
-		if geom.Dominates(v, x) {
-			n++
-		}
-	}
-	return n
+// bandByID sorts parallel id/count slices by ascending record id.
+type bandByID struct {
+	ids  []int
+	cnts []int32
+}
+
+func (b *bandByID) Len() int           { return len(b.ids) }
+func (b *bandByID) Less(i, j int) bool { return b.ids[i] < b.ids[j] }
+func (b *bandByID) Swap(i, j int) {
+	b.ids[i], b.ids[j] = b.ids[j], b.ids[i]
+	b.cnts[i], b.cnts[j] = b.cnts[j], b.cnts[i]
 }
 
 // TopK returns the k record IDs with the highest scores under weight vector
@@ -282,11 +346,17 @@ func coversOrEqual(x, y geom.Vector) bool {
 // pruned when its max-corner is dominated by a pivot, since every record
 // inside is then dominated too.
 func (t *Tree) AnyNotDominated(pivots []geom.Vector, exclude ExcludeFunc) bool {
+	// Flatten the pivot set once so the per-entry dominance tests inside
+	// the walk run over contiguous memory.
+	pb := kernel.NewBand(t.Dim)
+	for _, p := range pivots {
+		pb.Push(p)
+	}
 	var walk func(n *Node) bool
 	walk = func(n *Node) bool {
 		t.visit(n)
 		for _, e := range n.Entries {
-			if dominatedByAny(pivots, e.High) {
+			if pb.AnyDominates(e.High) {
 				continue
 			}
 			if e.Child != nil {
@@ -298,7 +368,7 @@ func (t *Tree) AnyNotDominated(pivots []geom.Vector, exclude ExcludeFunc) bool {
 			if exclude != nil && exclude(e.RecordID) {
 				continue
 			}
-			if !dominatedByAny(pivots, t.Records[e.RecordID]) {
+			if !pb.AnyDominates(t.Records[e.RecordID]) {
 				return true
 			}
 		}

@@ -7,7 +7,12 @@
 // hook for the disk-resident scenario of Appendix A.
 //
 // Construction uses Sort-Tile-Recursive (STR) bulk loading, which is the
-// standard way to build a static R-tree over a known dataset.
+// standard way to build a static R-tree over a known dataset. Build packs
+// the records into one dense row-major float64 array (Records[i] is a view
+// into it), so the traversal inner loops in query.go stream flat memory
+// instead of chasing per-record slice headers. The STR leaf order can be
+// exported with LeafOrder and a structurally identical tree reassembled in
+// O(n) with BuildFromOrder — the basis of the persisted-index warm start.
 package rtree
 
 import (
@@ -15,6 +20,7 @@ import (
 	"sort"
 
 	"repro/internal/geom"
+	"repro/internal/kernel"
 )
 
 // DefaultFanout is the default maximum number of entries per node; with
@@ -42,12 +48,38 @@ type Node struct {
 	Page    int // sequential page ID for I/O accounting
 }
 
+// BandTable is a precomputed k-skyband summary of the indexed dataset:
+// the ids of all records with fewer than K dominators, ascending, with
+// their exact dominator counts. It is produced by KSkybandCounts, stored
+// in the persisted index file, and attached to a warm-loaded tree so
+// skyband queries with k <= K are served by a table scan instead of a
+// BBS traversal — with results identical to the traversal by
+// construction (the table is the traversal's output).
+type BandTable struct {
+	// K is the band depth the table was computed at.
+	K int
+	// IDs lists the member record ids in ascending order.
+	IDs []int32
+	// Cnt[i] is the exact number of records dominating IDs[i] (< K).
+	Cnt []int32
+}
+
 // Tree is a bulk-loaded aggregate R-tree over a record set. Records are
 // identified by their index in the backing slice.
 type Tree struct {
 	Dim     int
 	Records []geom.Vector
 	Root    *Node
+
+	// Band, when non-nil, is a persisted k-skyband summary serving
+	// skyband queries without a traversal. Only attach a table computed
+	// from this exact record set (see KSkybandCounts); it is never
+	// carried across rebuilds.
+	Band *BandTable
+
+	// flat is the dense row-major backing of Records: flat[i*Dim+j] is
+	// attribute j of record i.
+	flat []float64
 
 	fanout int
 	pages  int
@@ -78,8 +110,9 @@ func WithoutAggregates() Option {
 	return func(t *Tree) { t.Aggregate = false }
 }
 
-// Build bulk-loads an R-tree over records using STR.
-func Build(records []geom.Vector, opts ...Option) (*Tree, error) {
+// newTree validates the record set, applies options, and packs the
+// records into the tree's flat row-major backing array.
+func newTree(records []geom.Vector, opts []Option) (*Tree, error) {
 	if len(records) == 0 {
 		return nil, fmt.Errorf("rtree: empty record set")
 	}
@@ -89,32 +122,122 @@ func Build(records []geom.Vector, opts ...Option) (*Tree, error) {
 			return nil, fmt.Errorf("rtree: record %d has %d dims, want %d", i, len(r), dim)
 		}
 	}
-	t := &Tree{Dim: dim, Records: records, fanout: DefaultFanout, Aggregate: true}
+	t := &Tree{Dim: dim, fanout: DefaultFanout, Aggregate: true}
 	for _, o := range opts {
 		o(t)
 	}
+	t.flat = kernel.PackRows(records, dim)
+	t.Records = make([]geom.Vector, len(records))
+	for i := range t.Records {
+		t.Records[i] = geom.Vector(t.flat[i*dim : (i+1)*dim : (i+1)*dim])
+	}
+	return t, nil
+}
 
-	// Leaf level: STR-tile the record IDs.
-	ids := make([]int, len(records))
+// Build bulk-loads an R-tree over records using STR.
+func Build(records []geom.Vector, opts ...Option) (*Tree, error) {
+	t, err := newTree(records, opts)
+	if err != nil {
+		return nil, err
+	}
+	ids := make([]int, len(t.Records))
 	for i := range ids {
 		ids[i] = i
 	}
-	groups := strTile(records, ids, dim, 0, t.fanout)
+	groups := strTile(t.Records, ids, t.Dim, 0, t.fanout)
+	t.assemble(groups)
+	return t, nil
+}
+
+// LeafOrder exports the tree's STR leaf layout: the record ids in
+// left-to-right leaf order, and the exclusive end offset of each leaf
+// node's run within that order. Feeding both back into BuildFromOrder
+// over the same record set reproduces this tree exactly.
+func (t *Tree) LeafOrder() (order, groupEnds []int32) {
+	order = make([]int32, 0, len(t.Records))
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		if n.Leaf {
+			for _, e := range n.Entries {
+				order = append(order, int32(e.RecordID))
+			}
+			groupEnds = append(groupEnds, int32(len(order)))
+			return
+		}
+		for _, e := range n.Entries {
+			walk(e.Child)
+		}
+	}
+	walk(t.Root)
+	return order, groupEnds
+}
+
+// BuildFromOrder reassembles in O(n) the exact tree that Build produced,
+// from a leaf layout previously exported by LeafOrder: same leaf
+// grouping, same upper-level structure, same page numbering — so every
+// query (and therefore every kSPR result) is byte-identical to the
+// cold-built tree's. The layout is validated (a permutation of the
+// record ids, strictly increasing group ends covering all records, no
+// group over fanout); an invalid layout is an error, and callers fall
+// back to a cold Build.
+func BuildFromOrder(records []geom.Vector, order, groupEnds []int32, opts ...Option) (*Tree, error) {
+	t, err := newTree(records, opts)
+	if err != nil {
+		return nil, err
+	}
+	n := len(t.Records)
+	if len(order) != n {
+		return nil, fmt.Errorf("rtree: leaf order has %d ids, want %d", len(order), n)
+	}
+	seen := make([]bool, n)
+	for _, id := range order {
+		if id < 0 || int(id) >= n || seen[id] {
+			return nil, fmt.Errorf("rtree: leaf order is not a permutation of the record ids")
+		}
+		seen[id] = true
+	}
+	if len(groupEnds) == 0 || int(groupEnds[len(groupEnds)-1]) != n {
+		return nil, fmt.Errorf("rtree: leaf groups do not cover the record set")
+	}
+	prev := int32(0)
+	for _, end := range groupEnds {
+		if end <= prev || int(end-prev) > t.fanout {
+			return nil, fmt.Errorf("rtree: invalid leaf group boundaries")
+		}
+		prev = end
+	}
+	groups := make([][]int, 0, len(groupEnds))
+	start := 0
+	for _, end := range groupEnds {
+		g := make([]int, 0, int(end)-start)
+		for _, id := range order[start:end] {
+			g = append(g, int(id))
+		}
+		groups = append(groups, g)
+		start = int(end)
+	}
+	t.assemble(groups)
+	return t, nil
+}
+
+// assemble materializes the tree nodes from leaf-level record groups:
+// one leaf per group (paged in order), then upper levels grouping
+// consecutive nodes — they are already spatially clustered by the STR
+// order. Build and BuildFromOrder share this phase, which is what makes
+// the warm-rebuilt tree structurally identical to the cold one.
+func (t *Tree) assemble(groups [][]int) {
 	level := make([]*Node, 0, len(groups))
 	for _, g := range groups {
 		n := &Node{Leaf: true, Page: t.pages}
 		t.pages++
 		for _, id := range g {
-			r := records[id]
+			r := t.Records[id]
 			n.Entries = append(n.Entries, Entry{
 				Low: r, High: r, Count: 1, RecordID: id,
 			})
 		}
 		level = append(level, n)
 	}
-
-	// Upper levels: group consecutive nodes (they are already spatially
-	// clustered by the STR order).
 	for len(level) > 1 {
 		var next []*Node
 		for i := 0; i < len(level); i += t.fanout {
@@ -122,7 +245,7 @@ func Build(records []geom.Vector, opts ...Option) (*Tree, error) {
 			n := &Node{Page: t.pages}
 			t.pages++
 			for _, child := range level[i:end] {
-				low, high, count := nodeMBR(child, dim)
+				low, high, count := nodeMBR(child, t.Dim)
 				if !t.Aggregate {
 					count = 0
 				}
@@ -133,7 +256,6 @@ func Build(records []geom.Vector, opts ...Option) (*Tree, error) {
 		level = next
 	}
 	t.Root = level[0]
-	return t, nil
 }
 
 // strTile recursively partitions ids into groups of at most cap records
@@ -221,6 +343,14 @@ func (t *Tree) visit(n *Node) {
 
 // Pages returns the total number of pages (nodes) in the tree.
 func (t *Tree) Pages() int { return t.pages }
+
+// Fanout returns the node capacity the tree was built with.
+func (t *Tree) Fanout() int { return t.fanout }
+
+// FlatRows returns the dense row-major backing array of the records:
+// FlatRows()[i*Dim : (i+1)*Dim] is record i. Whole-dataset kernels (see
+// internal/kernel) consume it directly.
+func (t *Tree) FlatRows() []float64 { return t.flat }
 
 // Height returns the number of levels.
 func (t *Tree) Height() int {

@@ -3,7 +3,7 @@ package rtree
 import (
 	"container/heap"
 
-	"repro/internal/geom"
+	"repro/internal/kernel"
 )
 
 // SkylineIterator streams skyline records one at a time in decreasing
@@ -22,13 +22,13 @@ type SkylineIterator struct {
 	t       *Tree
 	exclude ExcludeFunc
 	h       *entryHeap
-	sky     []geom.Vector
+	sky     *kernel.Band
 	skyIDs  []int
 }
 
 // NewSkylineIterator starts an incremental skyline scan.
 func (t *Tree) NewSkylineIterator(exclude ExcludeFunc) *SkylineIterator {
-	it := &SkylineIterator{t: t, exclude: exclude, h: &entryHeap{}}
+	it := &SkylineIterator{t: t, exclude: exclude, h: &entryHeap{}, sky: kernel.NewBand(t.Dim)}
 	t.visit(t.Root)
 	for _, e := range t.Root.Entries {
 		heap.Push(it.h, heapItem{e, e.High.Sum()})
@@ -42,13 +42,13 @@ func (it *SkylineIterator) Next() int {
 	for it.h.Len() > 0 {
 		item := heap.Pop(it.h).(heapItem)
 		e := item.entry
-		if dominatedByAny(it.sky, e.High) {
+		if it.sky.AnyDominates(e.High) {
 			continue
 		}
 		if e.Child != nil {
 			it.t.visit(e.Child)
 			for _, ce := range e.Child.Entries {
-				if !dominatedByAny(it.sky, ce.High) {
+				if !it.sky.AnyDominates(ce.High) {
 					heap.Push(it.h, heapItem{ce, ce.High.Sum()})
 				}
 			}
@@ -58,10 +58,10 @@ func (it *SkylineIterator) Next() int {
 			continue
 		}
 		r := it.t.Records[e.RecordID]
-		if dominatedByAny(it.sky, r) {
+		if it.sky.AnyDominates(r) {
 			continue
 		}
-		it.sky = append(it.sky, r)
+		it.sky.Push(r)
 		it.skyIDs = append(it.skyIDs, e.RecordID)
 		return e.RecordID
 	}

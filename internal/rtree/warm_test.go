@@ -1,0 +1,172 @@
+package rtree
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func randWarmRecords(rng *rand.Rand, n, d int, ties bool) []geom.Vector {
+	recs := make([]geom.Vector, n)
+	for i := range recs {
+		v := make(geom.Vector, d)
+		for j := range v {
+			if ties {
+				v[j] = float64(rng.Intn(5)) / 4
+			} else {
+				v[j] = rng.Float64()
+			}
+		}
+		recs[i] = v
+	}
+	return recs
+}
+
+// sameStructure compares two trees node by node: page numbers, leaf
+// flags, MBRs, counts, and record ids must all match.
+func sameStructure(t *testing.T, a, b *Node) {
+	t.Helper()
+	if a.Leaf != b.Leaf || a.Page != b.Page || len(a.Entries) != len(b.Entries) {
+		t.Fatalf("node shape mismatch: page %d/%d leaf %v/%v entries %d/%d",
+			a.Page, b.Page, a.Leaf, b.Leaf, len(a.Entries), len(b.Entries))
+	}
+	for i := range a.Entries {
+		ea, eb := a.Entries[i], b.Entries[i]
+		if !reflect.DeepEqual(ea.Low, eb.Low) || !reflect.DeepEqual(ea.High, eb.High) ||
+			ea.Count != eb.Count || ea.RecordID != eb.RecordID {
+			t.Fatalf("entry mismatch at page %d slot %d", a.Page, i)
+		}
+		if (ea.Child == nil) != (eb.Child == nil) {
+			t.Fatalf("child mismatch at page %d slot %d", a.Page, i)
+		}
+		if ea.Child != nil {
+			sameStructure(t, ea.Child, eb.Child)
+		}
+	}
+}
+
+// TestBuildFromOrderReproducesBuild pins the warm-start contract: the
+// tree reassembled from LeafOrder is structurally identical to the
+// cold-built tree, across sizes that exercise single-leaf, two-level and
+// three-level shapes.
+func TestBuildFromOrderReproducesBuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, tc := range []struct{ n, d, fanout int }{
+		{1, 2, 4}, {3, 3, 4}, {17, 2, 4}, {64, 3, 4}, {200, 4, 8}, {500, 3, 8},
+	} {
+		recs := randWarmRecords(rng, tc.n, tc.d, false)
+		cold, err := Build(recs, WithFanout(tc.fanout))
+		if err != nil {
+			t.Fatal(err)
+		}
+		order, ends := cold.LeafOrder()
+		warm, err := BuildFromOrder(recs, order, ends, WithFanout(tc.fanout))
+		if err != nil {
+			t.Fatalf("n=%d: BuildFromOrder: %v", tc.n, err)
+		}
+		if warm.Pages() != cold.Pages() || warm.Height() != cold.Height() {
+			t.Fatalf("n=%d: pages/height diverged", tc.n)
+		}
+		sameStructure(t, cold.Root, warm.Root)
+
+		// Queries agree too (belt and braces on top of the structural
+		// check).
+		for k := 1; k <= 4; k++ {
+			if !reflect.DeepEqual(cold.KSkyband(k, nil), warm.KSkyband(k, nil)) {
+				t.Fatalf("n=%d k=%d: skyband diverged", tc.n, k)
+			}
+		}
+	}
+}
+
+// TestBuildFromOrderRejectsBadLayouts ensures corrupted leaf layouts are
+// refused rather than silently assembled into a wrong tree.
+func TestBuildFromOrderRejectsBadLayouts(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	recs := randWarmRecords(rng, 20, 2, false)
+	cold, err := Build(recs, WithFanout(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	order, ends := cold.LeafOrder()
+	bad := func(name string, order, ends []int32) {
+		if _, err := BuildFromOrder(recs, order, ends, WithFanout(4)); err == nil {
+			t.Fatalf("%s: accepted", name)
+		}
+	}
+	short := append([]int32(nil), order[:len(order)-1]...)
+	bad("short order", short, ends)
+	dup := append([]int32(nil), order...)
+	dup[0] = dup[1]
+	bad("duplicate id", dup, ends)
+	oob := append([]int32(nil), order...)
+	oob[0] = int32(len(recs))
+	bad("out-of-range id", oob, ends)
+	bad("no groups", order, nil)
+	truncated := append([]int32(nil), ends[:len(ends)-1]...)
+	bad("groups not covering", truncated, ends[:0])
+	wide := []int32{int32(len(recs))} // one group of 20 > fanout 4
+	bad("group over fanout", order, wide)
+	nonMono := append([]int32(nil), ends...)
+	if len(nonMono) >= 2 {
+		nonMono[0], nonMono[1] = nonMono[1], nonMono[0]
+		bad("non-monotonic groups", order, nonMono)
+	}
+}
+
+// TestBandTableMatchesTraversal pins the table-serving fast paths to the
+// live traversal on random datasets (with ties): KSkyband for every
+// k <= K and KSkybandExcluding for every record as focal.
+func TestBandTableMatchesTraversal(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	const bandK = 6
+	for trial := 0; trial < 20; trial++ {
+		recs := randWarmRecords(rng, 40+rng.Intn(80), 1+rng.Intn(4), trial%2 == 1)
+		tree, err := Build(recs, WithFanout(8))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids, cnts := tree.KSkybandCounts(bandK, nil)
+
+		// Counts are exact: verify against brute force.
+		for i, id := range ids {
+			want := 0
+			for j, r := range recs {
+				if j != id && geom.Dominates(r, recs[id]) {
+					want++
+				}
+			}
+			if int(cnts[i]) != want {
+				t.Fatalf("trial %d: count[%d]=%d, want %d", trial, id, cnts[i], want)
+			}
+		}
+
+		table := &BandTable{K: bandK}
+		for i, id := range ids {
+			table.IDs = append(table.IDs, int32(id))
+			table.Cnt = append(table.Cnt, cnts[i])
+		}
+		warm := *tree
+		warm.Band = table
+
+		for k := 1; k <= bandK; k++ {
+			if !reflect.DeepEqual(tree.KSkyband(k, nil), warm.KSkyband(k, nil)) {
+				t.Fatalf("trial %d k=%d: table-served skyband diverged", trial, k)
+			}
+		}
+		for k := 1; k < bandK; k++ {
+			for f := 0; f < len(recs); f += 7 {
+				want := tree.KSkyband(k, func(id int) bool { return id == f })
+				got := warm.KSkybandExcluding(k, f)
+				if !reflect.DeepEqual(want, got) {
+					t.Fatalf("trial %d k=%d focal=%d: excluding skyband diverged: %v vs %v", trial, k, f, want, got)
+				}
+			}
+		}
+		if !reflect.DeepEqual(tree.KSkyband(2, nil), warm.KSkybandExcluding(2, -1)) {
+			t.Fatalf("trial %d: negative focal should mean no exclusion", trial)
+		}
+	}
+}

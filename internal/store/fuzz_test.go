@@ -48,6 +48,37 @@ func FuzzDecodeWALPayload(f *testing.F) {
 	})
 }
 
+// FuzzDecodeIndex fuzzes the persisted candidate-index parser — the
+// bytes a warm ksprd restart reads before serving queries. Any input may
+// be rejected, but none may panic or allocate beyond the input size, and
+// every accepted index must round-trip bit-exactly through the canonical
+// encoder (so a warm load can never silently reinterpret a file).
+func FuzzDecodeIndex(f *testing.F) {
+	good := encodeIndex(&IndexSnapshot{
+		Gen: 9, Fanout: 4, Dim: 2,
+		Order: []int32{1, 0, 2}, GroupEnds: []int32{2, 3},
+		BandK: 3, BandIDs: []int32{0, 2}, BandCnt: []int32{0, 2},
+	})
+	f.Add(good)
+	f.Add(encodeIndex(&IndexSnapshot{Gen: 1, Fanout: 64, Dim: 3}))
+	f.Add([]byte(indexMagic))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		idx, err := decodeIndex(data)
+		if err != nil {
+			return
+		}
+		b := encodeIndex(idx)
+		idx2, err := decodeIndex(b)
+		if err != nil {
+			t.Fatalf("re-encoded accepted index rejected: %v", err)
+		}
+		if !bytes.Equal(b, encodeIndex(idx2)) {
+			t.Fatalf("round-trip mismatch: %+v vs %+v", idx, idx2)
+		}
+	})
+}
+
 // FuzzLoadSnapshot fuzzes the snapshot file parser with arbitrary file
 // contents. Accepted snapshots must survive a write/reload round trip
 // with an identical version; everything else must be a clean error — a

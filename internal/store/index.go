@@ -1,0 +1,172 @@
+// Persisted candidate-index snapshots. Rebuilding the R-tree after a
+// daemon restart is O(n log n) in the dataset; the index file saves the
+// part worth saving — the STR leaf order (and leaf group boundaries)
+// plus the precomputed k-skyband table — so a warm restart reassembles a
+// structurally identical tree in O(n) and serves skyband queries without
+// a traversal. The file is advisory: it is validated against the store
+// generation on load, and any mismatch or corruption just means a cold
+// rebuild, never wrong results.
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+)
+
+// indexMagic identifies index files (8 bytes, versioned).
+const indexMagic = "KSPRIDX1"
+
+// IndexFileName is the index file's name inside a store directory.
+const IndexFileName = "index.bin"
+
+// IndexSnapshot is the persisted form of a built candidate index: the
+// dataset generation and tree shape it belongs to, the STR leaf layout
+// (record positions in leaf order plus exclusive group ends), and the
+// k-skyband table (ids ascending with exact dominator counts < BandK).
+type IndexSnapshot struct {
+	// Gen is the store generation the index was built from; an index
+	// whose generation differs from the recovered version is stale.
+	Gen uint64
+	// Fanout and Dim pin the tree shape parameters.
+	Fanout, Dim int
+	// Order holds record positions (dense ids) in STR leaf order;
+	// GroupEnds the exclusive end offset of each leaf's run.
+	Order, GroupEnds []int32
+	// BandK is the skyband depth of the table; BandIDs/BandCnt its
+	// members (ascending) and their dominator counts.
+	BandK            int
+	BandIDs, BandCnt []int32
+}
+
+func putI32s(b []byte, vals []int32) []byte {
+	b = putU32(b, uint32(len(vals)))
+	for _, v := range vals {
+		b = putU32(b, uint32(v))
+	}
+	return b
+}
+
+func (r *reader) i32s(max int) []int32 {
+	n := int(r.u32())
+	if r.err != nil || n < 0 || n > max || r.off+4*n > len(r.b) {
+		r.fail()
+		return nil
+	}
+	vals := make([]int32, n)
+	for i := range vals {
+		vals[i] = int32(r.u32())
+	}
+	return vals
+}
+
+// encodeIndex renders the snapshot: magic, gen u64, fanout u32, dim u32,
+// then the order, group-end, band-id and band-count arrays (each u32
+// count + i32 values), a bandK u32, and a whole-file CRC trailer.
+func encodeIndex(idx *IndexSnapshot) []byte {
+	b := []byte(indexMagic)
+	b = putU64(b, idx.Gen)
+	b = putU32(b, uint32(idx.Fanout))
+	b = putU32(b, uint32(idx.Dim))
+	b = putI32s(b, idx.Order)
+	b = putI32s(b, idx.GroupEnds)
+	b = putU32(b, uint32(idx.BandK))
+	b = putI32s(b, idx.BandIDs)
+	b = putI32s(b, idx.BandCnt)
+	return putU32(b, crc32.ChecksumIEEE(b))
+}
+
+// decodeIndex parses and validates an index file's bytes. Like the WAL
+// and snapshot decoders it is hardened against hostile input: every
+// array length is bounded by the bytes actually present before its
+// allocation, so a tiny CRC-valid file cannot demand a huge make, and
+// the band table's invariants (ascending ids inside the record range,
+// counts below the depth) are checked so a decoded table can never serve
+// out-of-range records.
+func decodeIndex(data []byte) (*IndexSnapshot, error) {
+	if len(data) < len(indexMagic)+4 || string(data[:len(indexMagic)]) != indexMagic {
+		return nil, fmt.Errorf("store: index has wrong magic")
+	}
+	body, trailer := data[:len(data)-4], data[len(data)-4:]
+	if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(trailer) {
+		return nil, fmt.Errorf("store: index checksum mismatch")
+	}
+	r := &reader{b: body, off: len(indexMagic)}
+	idx := &IndexSnapshot{Gen: r.u64()}
+	idx.Fanout = int(int32(r.u32()))
+	idx.Dim = int(int32(r.u32()))
+	// Each array element costs 4 bytes; bound every claimed length by the
+	// remaining body before allocating.
+	idx.Order = r.i32s((len(body) - r.off) / 4)
+	idx.GroupEnds = r.i32s((len(body) - r.off) / 4)
+	idx.BandK = int(int32(r.u32()))
+	idx.BandIDs = r.i32s((len(body) - r.off) / 4)
+	idx.BandCnt = r.i32s((len(body) - r.off) / 4)
+	if r.err != nil {
+		return nil, fmt.Errorf("store: index corrupt")
+	}
+	if r.off != len(body) {
+		return nil, fmt.Errorf("store: index has trailing bytes")
+	}
+	if idx.Fanout < 2 || idx.Dim < 1 || idx.BandK < 0 {
+		return nil, fmt.Errorf("store: index header corrupt")
+	}
+	n := int32(len(idx.Order))
+	if len(idx.BandIDs) != len(idx.BandCnt) {
+		return nil, fmt.Errorf("store: index band table mismatched")
+	}
+	prev := int32(-1)
+	for i, id := range idx.BandIDs {
+		if id <= prev || id >= n || idx.BandCnt[i] < 0 || int(idx.BandCnt[i]) >= idx.BandK {
+			return nil, fmt.Errorf("store: index band table corrupt")
+		}
+		prev = id
+	}
+	return idx, nil
+}
+
+// WriteIndex atomically replaces the index file in dir: write to a temp
+// file, fsync, rename, fsync the directory — the snapshot dance.
+func WriteIndex(dir string, idx *IndexSnapshot) error {
+	b := encodeIndex(idx)
+	tmp := filepath.Join(dir, "index.tmp")
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(b); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, IndexFileName)); err != nil {
+		return err
+	}
+	if d, err := os.Open(dir); err == nil {
+		d.Sync() // best-effort directory entry durability
+		d.Close()
+	}
+	return nil
+}
+
+// LoadIndex reads the index file from dir. A missing file returns
+// (nil, nil) — the cold path, not an error; anything unreadable or
+// failing validation is an error the caller treats as "rebuild cold".
+func LoadIndex(dir string) (*IndexSnapshot, error) {
+	data, err := os.ReadFile(filepath.Join(dir, IndexFileName))
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("store: read index: %w", err)
+	}
+	return decodeIndex(data)
+}

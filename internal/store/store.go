@@ -255,6 +255,16 @@ func (s *Store) LastSnapshotError() error {
 	return s.snapErr
 }
 
+// SinceSnapshot reports how many applied batches the WAL holds beyond
+// the last durable snapshot. Zero right after an Apply means that Apply
+// triggered an automatic snapshot — the moment callers persist derived
+// artifacts (like the candidate index) alongside it.
+func (s *Store) SinceSnapshot() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.walCount
+}
+
 // Snapshot forces a snapshot of the current generation and truncates the
 // WAL. It is called automatically every Options.SnapshotEvery batches.
 func (s *Store) Snapshot() error {

@@ -125,6 +125,10 @@ type dbState struct {
 	ids    []int64
 	nextID int64
 	dim    int
+	// warmIndex records that this generation's index was reassembled
+	// from the persisted candidate-index file instead of being rebuilt
+	// from scratch (see OpenStore and docs/ARCHITECTURE.md).
+	warmIndex bool
 }
 
 // cur resolves the state a read works against: the pinned generation for
@@ -167,7 +171,9 @@ func Open(records [][]float64, opts ...DBOption) (*DB, error) {
 		if len(r) != d {
 			return nil, fmt.Errorf("kspr: record %d has %d attributes, want %d", i, len(r), d)
 		}
-		recs[i] = geom.Vector(r).Clone()
+		// No Clone needed: Build packs the records into its own dense
+		// backing array, so the tree never aliases caller memory.
+		recs[i] = geom.Vector(r)
 	}
 	tree, err := rtree.Build(recs, rtree.WithFanout(cfg.fanout))
 	if err != nil {
@@ -181,6 +187,13 @@ func Open(records [][]float64, opts ...DBOption) (*DB, error) {
 	db.st.Store(&dbState{tree: tree, gen: 1, ids: ids, nextID: int64(len(recs)), dim: d})
 	return db, nil
 }
+
+// IndexWarm reports whether this handle's current generation was indexed
+// from the persisted candidate index (warm start: O(n) tree reassembly,
+// skyband table served from disk) rather than rebuilt cold. It is pinned
+// by Freeze like every other property of the generation. Purely
+// informational — warm and cold indexes answer every query identically.
+func (db *DB) IndexWarm() bool { return db.cur().warmIndex }
 
 // Len returns the number of records.
 func (db *DB) Len() int {
@@ -493,7 +506,9 @@ func (db *DB) KSkyband(k int) []int {
 
 // Rank computes the rank of record focalID under weights w (1 = best);
 // ties with other records are ignored, as in the paper. An out-of-range
-// focalID (e.g. on an empty live dataset) yields 0.
+// focalID (e.g. on an empty live dataset) yields 0. The scan streams the
+// index's flat row-major backing, so large-n ranking touches one
+// contiguous array instead of chasing per-record slice headers.
 func (db *DB) Rank(focalID int, w []float64) int {
 	tree := db.cur().tree
 	if tree == nil || focalID < 0 || focalID >= tree.Len() {
@@ -502,12 +517,24 @@ func (db *DB) Rank(focalID int, w []float64) int {
 	wv := geom.Vector(w)
 	focal := tree.Records[focalID]
 	ps := focal.Dot(wv)
+	d := tree.Dim
+	rows := tree.FlatRows()
 	rank := 1
-	for id, rec := range tree.Records {
-		if id == focalID || rec.Equal(focal) {
+	for id := 0; id < tree.Len(); id++ {
+		if id == focalID {
 			continue
 		}
-		if rec.Dot(wv) > ps {
+		row := rows[id*d : (id+1)*d]
+		s := 0.0
+		equal := true
+		for j := 0; j < d; j++ {
+			v := row[j]
+			s += v * wv[j]
+			if v != focal[j] {
+				equal = false
+			}
+		}
+		if !equal && s > ps {
 			rank++
 		}
 	}

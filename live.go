@@ -124,17 +124,42 @@ func OpenStore(dir string, opts ...StoreOption) (*DB, error) {
 		return nil, fmt.Errorf("kspr: %w", err)
 	}
 	db := &DB{store: st, fanout: cfg.fanout}
-	state, err := db.stateFromVersion(st.View())
+	// A persisted candidate index lets the warm path reassemble the
+	// R-tree in O(n) and skip the skyband traversal; any load or
+	// validation failure just means a cold rebuild.
+	idx, _ := store.LoadIndex(dir)
+	state, err := db.stateFromVersionWarm(st.View(), idx)
 	if err != nil {
 		st.Close()
 		return nil, err
+	}
+	if !state.warmIndex && state.tree != nil {
+		// Cold open: persist a fresh index so the next restart is warm.
+		// The state is not yet published, so attaching the skyband table
+		// to its tree is race-free. Persistence is advisory — an
+		// unwritable index file must not fail the open.
+		_ = store.WriteIndex(dir, db.attachIndex(state))
 	}
 	db.st.Store(state)
 	return db, nil
 }
 
-// stateFromVersion indexes one store generation.
+// persistBandK is the skyband depth persisted in the candidate index.
+// Any skyband query with k < persistBandK (the strict inequality leaves
+// headroom for the exclude-focal discount) is then served off the table.
+const persistBandK = 64
+
+// stateFromVersion indexes one store generation (always cold).
 func (db *DB) stateFromVersion(v *store.Version) (*dbState, error) {
+	return db.stateFromVersionWarm(v, nil)
+}
+
+// stateFromVersionWarm indexes one store generation, reassembling the
+// index from a persisted layout when idx matches the generation exactly
+// (generation number, dimensionality, record count, fanout). A stale or
+// invalid layout silently falls back to the cold build — the index file
+// can never change results, only skip work.
+func (db *DB) stateFromVersionWarm(v *store.Version, idx *store.IndexSnapshot) (*dbState, error) {
 	state := &dbState{gen: v.Gen, ids: v.IDs(), dim: v.Dim()}
 	if v.Len() == 0 {
 		return state, nil
@@ -146,12 +171,55 @@ func (db *DB) stateFromVersion(v *store.Version) (*dbState, error) {
 	for i, row := range v.Rows() {
 		recs[i] = geom.Vector(row)
 	}
+	if idx != nil && idx.Gen == v.Gen && idx.Dim == v.Dim() &&
+		idx.Fanout == db.fanout && len(idx.Order) == v.Len() {
+		if tree, err := rtree.BuildFromOrder(recs, idx.Order, idx.GroupEnds, rtree.WithFanout(db.fanout)); err == nil {
+			if idx.BandK > 0 {
+				tree.Band = &rtree.BandTable{K: idx.BandK, IDs: idx.BandIDs, Cnt: idx.BandCnt}
+			}
+			state.tree = tree
+			state.warmIndex = true
+			return state, nil
+		}
+	}
 	tree, err := rtree.Build(recs, rtree.WithFanout(db.fanout))
 	if err != nil {
 		return nil, fmt.Errorf("kspr: indexing store generation %d: %w", v.Gen, err)
 	}
 	state.tree = tree
 	return state, nil
+}
+
+// attachIndex derives the persistable candidate index from state's tree —
+// STR leaf layout plus a depth-persistBandK skyband table — and attaches
+// the table to the tree. Callers must hold the only reference to the
+// state (not yet published) or accept the write themselves; the returned
+// snapshot is ready for store.WriteIndex.
+func (db *DB) attachIndex(state *dbState) *store.IndexSnapshot {
+	idx := indexSnapshotFor(state.tree, state.gen, db.fanout, state.dim)
+	state.tree.Band = &rtree.BandTable{K: idx.BandK, IDs: idx.BandIDs, Cnt: idx.BandCnt}
+	return idx
+}
+
+// indexSnapshotFor computes the persisted-index contents for a built
+// tree without mutating it.
+func indexSnapshotFor(tree *rtree.Tree, gen uint64, fanout, dim int) *store.IndexSnapshot {
+	ids, cnts := tree.KSkybandCounts(persistBandK, nil)
+	ids32 := make([]int32, len(ids))
+	for i, id := range ids {
+		ids32[i] = int32(id)
+	}
+	order, groupEnds := tree.LeafOrder()
+	return &store.IndexSnapshot{
+		Gen:       gen,
+		Fanout:    fanout,
+		Dim:       dim,
+		Order:     order,
+		GroupEnds: groupEnds,
+		BandK:     persistBandK,
+		BandIDs:   ids32,
+		BandCnt:   cnts,
+	}
 }
 
 // Generation returns the dataset generation this handle reads from:
@@ -229,6 +297,13 @@ func (db *DB) Apply(muts ...Mutation) (*ApplyResult, error) {
 		state, err = db.stateFromVersion(ver)
 		if err != nil {
 			return nil, err
+		}
+		if db.store.SinceSnapshot() == 0 && state.tree != nil {
+			// This batch triggered an automatic store snapshot; persist
+			// the candidate index alongside it (and give the new state
+			// the skyband table, pre-publication). Advisory like the
+			// snapshot itself: a failed write never fails the Apply.
+			_ = store.WriteIndex(db.store.Dir(), db.attachIndex(state))
 		}
 	} else {
 		cur := db.st.Load()
@@ -323,13 +398,25 @@ func (db *DB) watchLocked(fn func(ApplyEvent)) (cancel func()) {
 	}
 }
 
-// SnapshotStore forces a store snapshot now (WAL truncation included);
-// a no-op error for in-memory DBs.
+// SnapshotStore forces a store snapshot now (WAL truncation included)
+// and persists the candidate index alongside it, so a restart from this
+// snapshot skips the O(n log n) index rebuild; a no-op error for
+// in-memory DBs.
 func (db *DB) SnapshotStore() error {
 	if db.store == nil {
 		return fmt.Errorf("kspr: DB has no backing store")
 	}
-	return db.store.Snapshot()
+	if err := db.store.Snapshot(); err != nil {
+		return err
+	}
+	st := db.cur()
+	if st.tree == nil {
+		return nil
+	}
+	// The state is already published, so only read the tree here — the
+	// index file is written from a freshly computed layout and table
+	// without attaching anything to the live tree.
+	return store.WriteIndex(db.store.Dir(), indexSnapshotFor(st.tree, st.gen, db.fanout, st.dim))
 }
 
 // Close releases the backing store (if any). Outstanding frozen handles

@@ -51,6 +51,12 @@ type benchFile struct {
 	// stopped firing — a correctness-of-architecture regression, not noise).
 	WhatIfProbeNs  int64   `json:"whatif_probe_ns"`
 	WhatIfKeepRate float64 `json:"whatif_keep_rate"`
+	// Large-N keys (cmd/ksprbench -n): the gated 1e6-record kernel
+	// timings plus the sweep's workload shape.
+	LargeNTop int              `json:"largen_top"`
+	LargeND   int              `json:"largen_d"`
+	LargeNK   int              `json:"largen_k"`
+	LargeN1e6 map[string]int64 `json:"ns_per_op_n1e6"`
 }
 
 func load(path string) (benchFile, error) {
@@ -79,6 +85,9 @@ func main() {
 		loadFresh    = flag.String("load-fresh", "", "freshly measured cmd/ksprload summary (load gate)")
 		loadRegress  = flag.Float64("load-max-regress", 1.0, "tolerated fractional p99 slowdown per request class (load latencies are far noisier than ns/op)")
 		loadErrDelta = flag.Float64("load-max-error-delta", 0.01, "tolerated absolute error-rate increase over the baseline")
+
+		largen        = flag.Bool("largen", false, "gate only the large-N keys (ns_per_op_n1e6); the fresh file may carry any base workload")
+		largenRegress = flag.Float64("largen-max-regress", 0.50, "tolerated fractional slowdown per large-N kernel (single-shot 1e6 timings are noisier than the averaged ns/op)")
 	)
 	flag.Parse()
 
@@ -97,6 +106,11 @@ func main() {
 	fresh, err := load(*freshPath)
 	if err != nil {
 		fatal(err)
+	}
+
+	if *largen {
+		largeNGate(baseline, fresh, *largenRegress, *inject)
+		return
 	}
 	if baseline.Dist != fresh.Dist || baseline.N != fresh.N ||
 		baseline.D != fresh.D || baseline.K != fresh.K || baseline.Seed != fresh.Seed {
@@ -198,6 +212,60 @@ func main() {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "benchcmp:", err)
 	os.Exit(1)
+}
+
+// largeNGate compares only the large-N kernel timings (ns_per_op_n1e6).
+// Unlike the main gate it deliberately skips the base-workload match: the
+// CI large-n lane pairs a minimal base workload with the expensive
+// 1e6-record sweep, so only the sweep's shape (largen_d / largen_k and a
+// top of at least 1e6) has to agree. A missing map on either side is a
+// hard failure — the lane exists to keep these keys measured.
+func largeNGate(baseline, fresh benchFile, maxRegress, inject float64) {
+	if len(baseline.LargeN1e6) == 0 {
+		fatal(fmt.Errorf("baseline %q has no ns_per_op_n1e6 (rerun make bench with the large-N sweep)", baseline.Name))
+	}
+	if len(fresh.LargeN1e6) == 0 {
+		fatal(fmt.Errorf("fresh %q has no ns_per_op_n1e6 (was ksprbench run with -n 1000000?)", fresh.Name))
+	}
+	if baseline.LargeND != fresh.LargeND || baseline.LargeNK != fresh.LargeNK {
+		fatal(fmt.Errorf("large-N workload mismatch: baseline d=%d k=%d, fresh d=%d k=%d",
+			baseline.LargeND, baseline.LargeNK, fresh.LargeND, fresh.LargeNK))
+	}
+	names := make([]string, 0, len(baseline.LargeN1e6))
+	for name := range baseline.LargeN1e6 {
+		if _, ok := fresh.LargeN1e6[name]; ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		fatal(fmt.Errorf("no large-N kernels in common"))
+	}
+	fmt.Printf("large-n gate: baseline %q (%d cpus) vs fresh %q (%d cpus) at n=1e6 d=%d k=%d, tolerance +%.0f%%\n",
+		baseline.Name, baseline.CPUs, fresh.Name, fresh.CPUs,
+		baseline.LargeND, baseline.LargeNK, maxRegress*100)
+	var regressed []string
+	for _, name := range names {
+		base := baseline.LargeN1e6[name]
+		if base <= 0 {
+			continue
+		}
+		now := int64(float64(fresh.LargeN1e6[name]) * inject)
+		ratio := float64(now) / float64(base)
+		verdict := "ok"
+		if ratio > 1+maxRegress {
+			verdict = "REGRESSED"
+			regressed = append(regressed, name)
+		}
+		fmt.Printf("  %-10s %12d -> %12d ns  (%.2fx)  %s\n", name, base, now, ratio, verdict)
+	}
+	if len(regressed) > 0 {
+		fmt.Fprintf(os.Stderr, "benchcmp: %d large-N kernel(s) regressed beyond +%.0f%%: %v\n",
+			len(regressed), maxRegress*100, regressed)
+		fmt.Fprintln(os.Stderr, "benchcmp: if this slowdown is intended, refresh the baseline (make bench) or apply the skip-bench-gate label")
+		os.Exit(1)
+	}
+	fmt.Println("large-n gate: pass")
 }
 
 // ---- load gate -----------------------------------------------------------

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Large-N perf lane: re-measure the columnar-kernel sweep at n = 1e6
+# (index build, k-skyband, TopK, Rank, one LP-CTA kSPR query) and fail
+# when any kernel regressed beyond LARGEN_MAX_REGRESS (default 50% —
+# single-shot 1e6 timings are noisier than averaged ns/op) against the
+# committed BENCH_core.json's ns_per_op_n1e6 map.
+#
+# LARGEN_INJECT multiplies the fresh numbers before comparing; the CI
+# large-n job runs `LARGEN_INJECT=2 ./scripts/check_largen.sh` once and
+# asserts failure, proving the gate trips on a real 2x slowdown.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+baseline=BENCH_core.json
+fresh=BENCH_largen.json
+if [ ! -f "$baseline" ]; then
+    echo "check_largen: committed baseline $baseline is missing" >&2
+    exit 1
+fi
+
+# A minimal base workload (n=100, d=3, k=5, one query) keeps the lane's
+# wall time inside the 1e6 sweep itself; benchcmp -largen deliberately
+# skips the base-workload match and reads only the large-N keys.
+go run ./cmd/ksprbench -json -name largen -dist IND -d 3 -k 5 -scale 0.05 -queries 1 -parallel 1 -n 1000000
+
+go run ./scripts/benchcmp \
+    -largen \
+    -baseline "$baseline" \
+    -fresh "$fresh" \
+    -largen-max-regress "${LARGEN_MAX_REGRESS:-0.50}" \
+    -inject "${LARGEN_INJECT:-1}"

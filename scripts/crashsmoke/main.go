@@ -2,9 +2,13 @@
 // ksprd, starts it with a WAL-backed store, loads a dataset, streams
 // mutations at it, SIGKILLs the daemon mid-stream, restarts it over the
 // same store directory, and asserts the recovered dataset is at exactly
-// the last acknowledged generation with the matching record count. It
-// uses only the Go toolchain and net/http (no curl/jq), so `make ci`
-// works on minimal machines.
+// the last acknowledged generation with the matching record count. A
+// second phase exercises candidate-index persistence: it SIGKILLs the
+// daemon right after a snapshot (which writes the index file), asserts
+// the restart recovers WARM (from the persisted index, per the recovery
+// log marker), then deletes the index file and asserts a COLD restart
+// serves byte-identical query results. It uses only the Go toolchain
+// and net/http (no curl/jq), so `make ci` works on minimal machines.
 package main
 
 import (
@@ -17,6 +21,8 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"strings"
+	"sync"
 	"syscall"
 	"time"
 )
@@ -55,7 +61,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	defer daemon.Process.Kill()
+	defer daemon.kill()
 
 	if err := post(base+"/v1/datasets", map[string]any{
 		"name":     "smoke",
@@ -86,10 +92,10 @@ func run() error {
 
 	// SIGKILL mid-WAL: no shutdown hooks, no flushes beyond what Apply
 	// already acknowledged.
-	if err := daemon.Process.Kill(); err != nil {
+	if err := daemon.cmd.Process.Kill(); err != nil {
 		return fmt.Errorf("killing daemon: %w", err)
 	}
-	daemon.Wait()
+	daemon.cmd.Wait()
 
 	// ---- second life: recover and verify ----------------------------------
 	addr2, err := freeAddr()
@@ -102,8 +108,8 @@ func run() error {
 		return err
 	}
 	defer func() {
-		daemon2.Process.Signal(syscall.SIGTERM)
-		daemon2.Wait()
+		daemon2.cmd.Process.Signal(syscall.SIGTERM)
+		daemon2.cmd.Wait()
 	}()
 
 	var infos []struct {
@@ -147,13 +153,169 @@ func run() error {
 	}
 	fmt.Printf("crashsmoke: killed at store generation %d with %d records; recovery matched exactly\n",
 		last.StoreGeneration, last.Records)
+
+	daemon2.cmd.Process.Signal(syscall.SIGTERM)
+	daemon2.cmd.Wait()
+	return indexPhase(work, bin)
+}
+
+// indexPhase exercises candidate-index persistence across a crash: with a
+// snapshot on every batch the index file is written alongside each
+// snapshot, so a SIGKILL right after a mutation must leave a restart that
+// (a) recovers WARM per the ksprd log marker and (b) answers queries
+// byte-identically to a cold restart over the same store with the index
+// file deleted.
+func indexPhase(work, bin string) error {
+	storeDir := filepath.Join(work, "stores-index")
+	const kill = syscall.SIGKILL
+
+	// ---- first life: seed, snapshot-every-batch, crash --------------------
+	addr, err := freeAddr()
+	if err != nil {
+		return err
+	}
+	base := "http://" + addr
+	daemon, err := startDaemon(bin, addr, storeDir, "-snapshot-every", "1")
+	if err != nil {
+		return err
+	}
+	defer daemon.kill()
+	if err := post(base+"/v1/datasets", map[string]any{
+		"name":     "smoke",
+		"generate": map[string]any{"dist": "IND", "n": 400, "d": 3, "seed": 42},
+	}, nil); err != nil {
+		return fmt.Errorf("loading dataset: %w", err)
+	}
+	if err := post(base+"/v1/datasets/smoke:mutate", map[string]any{
+		"op": "insert", "values": []float64{0.7, 0.2, 0.6},
+	}, nil); err != nil {
+		return fmt.Errorf("mutation: %w", err)
+	}
+	indexFile := filepath.Join(storeDir, "smoke", "index.bin")
+	if _, err := os.Stat(indexFile); err != nil {
+		return fmt.Errorf("snapshot did not persist the candidate index: %w", err)
+	}
+	daemon.cmd.Process.Signal(kill)
+	daemon.cmd.Wait()
+
+	// query returns the answer-defining part of a /v1/kspr response as
+	// canonical bytes: generation, focal, k and the region list. Wall
+	// times and traversal counters (stats) legitimately differ between a
+	// warm and a cold index — the regions may not.
+	query := func(base string) ([]byte, error) {
+		raw, _ := json.Marshal(map[string]any{"dataset": "smoke", "focal": 3, "k": 5})
+		resp, err := http.Post(base+"/v1/kspr", "application/json", bytes.NewReader(raw))
+		if err != nil {
+			return nil, err
+		}
+		defer resp.Body.Close()
+		data, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != http.StatusOK {
+			return nil, fmt.Errorf("query: status %d: %s", resp.StatusCode, data)
+		}
+		var body struct {
+			Generation uint64          `json:"generation"`
+			Focal      int             `json:"focal"`
+			K          int             `json:"k"`
+			Regions    json.RawMessage `json:"regions"`
+		}
+		if err := json.Unmarshal(data, &body); err != nil {
+			return nil, fmt.Errorf("query: decoding response: %w", err)
+		}
+		if len(body.Regions) == 0 || string(body.Regions) == "null" {
+			return nil, fmt.Errorf("query returned no regions: %s", data)
+		}
+		return json.Marshal(body)
+	}
+
+	// ---- second life: must recover from the persisted index ---------------
+	addr, err = freeAddr()
+	if err != nil {
+		return err
+	}
+	base = "http://" + addr
+	warm, err := startDaemon(bin, addr, storeDir, "-snapshot-every", "1")
+	if err != nil {
+		return err
+	}
+	defer warm.kill()
+	if log := warm.log.String(); !strings.Contains(log, "index warm") {
+		return fmt.Errorf("restart after snapshot did not recover from the persisted index; log:\n%s", log)
+	}
+	warmResult, err := query(base)
+	if err != nil {
+		return fmt.Errorf("warm query: %w", err)
+	}
+	warm.cmd.Process.Signal(kill)
+	warm.cmd.Wait()
+
+	// ---- third life: index deleted, cold rebuild, identical answers -------
+	if err := os.Remove(indexFile); err != nil {
+		return fmt.Errorf("removing index file: %w", err)
+	}
+	addr, err = freeAddr()
+	if err != nil {
+		return err
+	}
+	base = "http://" + addr
+	cold, err := startDaemon(bin, addr, storeDir, "-snapshot-every", "1")
+	if err != nil {
+		return err
+	}
+	defer func() {
+		cold.cmd.Process.Signal(syscall.SIGTERM)
+		cold.cmd.Wait()
+	}()
+	if log := cold.log.String(); !strings.Contains(log, "index cold") {
+		return fmt.Errorf("restart without the index file did not rebuild cold; log:\n%s", log)
+	}
+	coldResult, err := query(base)
+	if err != nil {
+		return fmt.Errorf("cold query: %w", err)
+	}
+	if !bytes.Equal(warmResult, coldResult) {
+		return fmt.Errorf("warm and cold restarts answered differently:\nwarm: %s\ncold: %s", warmResult, coldResult)
+	}
+	fmt.Println("crashsmoke: persisted index recovered warm; warm == cold query results")
 	return nil
 }
 
-// startDaemon launches ksprd and waits for /healthz.
-func startDaemon(bin, addr, storeDir string) (*exec.Cmd, error) {
-	cmd := exec.Command(bin, "-addr", addr, "-store-dir", storeDir)
-	cmd.Stdout, cmd.Stderr = os.Stdout, os.Stderr
+// syncBuffer is a concurrency-safe capture of the daemon's stderr (the
+// daemon writes while the test reads).
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+// daemonProc is a running ksprd plus its captured stderr.
+type daemonProc struct {
+	cmd *exec.Cmd
+	log *syncBuffer
+}
+
+func (d *daemonProc) kill() { d.cmd.Process.Kill() }
+
+// startDaemon launches ksprd with the given extra flags and waits for
+// /healthz; the recovery log lines are both echoed and captured (the
+// index phase greps them for the warm/cold marker).
+func startDaemon(bin, addr, storeDir string, extra ...string) (*daemonProc, error) {
+	args := append([]string{"-addr", addr, "-store-dir", storeDir}, extra...)
+	cmd := exec.Command(bin, args...)
+	log := &syncBuffer{}
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = io.MultiWriter(os.Stderr, log)
 	if err := cmd.Start(); err != nil {
 		return nil, fmt.Errorf("starting ksprd: %w", err)
 	}
@@ -163,7 +325,7 @@ func startDaemon(bin, addr, storeDir string) (*exec.Cmd, error) {
 		if err == nil {
 			resp.Body.Close()
 			if resp.StatusCode == http.StatusOK {
-				return cmd, nil
+				return &daemonProc{cmd: cmd, log: log}, nil
 			}
 		}
 		time.Sleep(100 * time.Millisecond)
