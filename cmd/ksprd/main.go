@@ -66,6 +66,9 @@ func main() {
 		logFormat = flag.String("log-format", "text", "request log format: text or json")
 		slowMs    = flag.Int("slow-query-ms", 0, "log requests at least this slow at Warn with their engine phase breakdown (0 = off)")
 		pprofAddr = flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty = off; keep it loopback-only)")
+		flightCap = flag.Int("flight-capacity", 0, "flight recorder ring capacity in wide events (0 = 256, negative = recorder off)")
+		flightN   = flag.Int("flight-sample-every", 0, "capture one in N ordinary requests per endpoint in the flight recorder (0 = 64, negative = errors/slow only)")
+		blackBox  = flag.String("blackbox-dir", "", "dump flight ring + event journal + metrics here on panic or SIGQUIT (empty = off)")
 	)
 	flag.Var(&preload, "data", "preload dataset as name=path.csv (repeatable; with -store-dir this seeds/replaces the named store)")
 	flag.Parse()
@@ -94,21 +97,52 @@ func main() {
 	}
 
 	srv := server.NewServer(server.Config{
-		Workers:        *workers,
-		Queue:          *queue,
-		CacheCapacity:  *cache,
-		CacheShards:    *shards,
-		DefaultTimeout: *timeout,
-		MaxTimeout:     *maxWait,
-		MaxParallelism: *maxPar,
-		CPUSlots:       *cpuSlots,
-		MaxBatch:       *maxBatch,
-		StoreDir:       *storeDir,
-		WALSync:        *walSync,
-		SnapshotEvery:  *snapshot,
-		Logger:         logger,
-		SlowQuery:      time.Duration(*slowMs) * time.Millisecond,
+		Workers:           *workers,
+		Queue:             *queue,
+		CacheCapacity:     *cache,
+		CacheShards:       *shards,
+		DefaultTimeout:    *timeout,
+		MaxTimeout:        *maxWait,
+		MaxParallelism:    *maxPar,
+		CPUSlots:          *cpuSlots,
+		MaxBatch:          *maxBatch,
+		StoreDir:          *storeDir,
+		WALSync:           *walSync,
+		SnapshotEvery:     *snapshot,
+		Logger:            logger,
+		SlowQuery:         time.Duration(*slowMs) * time.Millisecond,
+		FlightCapacity:    *flightCap,
+		FlightSampleEvery: *flightN,
+		BlackBoxDir:       *blackBox,
 	})
+	if *blackBox != "" {
+		// SIGQUIT becomes the black-box trigger: dump the flight ring, the
+		// event journal, and a metrics snapshot, then die with the
+		// conventional 128+SIGQUIT status. (This replaces the Go runtime's
+		// default goroutine dump — use -pprof-addr for stack inspection.)
+		quit := make(chan os.Signal, 1)
+		signal.Notify(quit, syscall.SIGQUIT)
+		go func() {
+			<-quit
+			path, err := srv.WriteBlackBox("SIGQUIT")
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "ksprd: black box write failed:", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "ksprd: black box written to %s\n", path)
+			os.Exit(128 + int(syscall.SIGQUIT))
+		}()
+		// Request-path panics are dumped by the server's own recover; this
+		// covers panics on the main goroutine (startup, recovery, shutdown).
+		defer func() {
+			if p := recover(); p != nil {
+				if path, err := srv.WriteBlackBox(fmt.Sprintf("panic: %v", p)); err == nil {
+					fmt.Fprintf(os.Stderr, "ksprd: black box written to %s\n", path)
+				}
+				panic(p)
+			}
+		}()
+	}
 	if *storeDir != "" {
 		snaps, err := srv.RecoverDatasets()
 		if err != nil {

@@ -1,0 +1,49 @@
+package main
+
+import "testing"
+
+func TestBuildLogger(t *testing.T) {
+	cases := []struct {
+		name      string
+		level     string
+		format    string
+		slowQuery bool
+		wantNil   bool
+		wantErr   bool
+	}{
+		{"logging off", "", "text", false, true, false},
+		{"slow-query forces a logger", "", "text", true, false, false},
+		{"debug text", "debug", "text", false, false, false},
+		{"info json", "info", "json", false, false, false},
+		{"warn alias", "warning", "text", false, false, false},
+		{"error level", "error", "", false, false, false},
+		{"case folding", "WARN", "JSON", false, false, false},
+		{"bad level", "loud", "text", false, true, true},
+		{"bad format", "info", "xml", false, true, true},
+		{"bad format validated even when off", "", "xml", false, true, true},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			logger, err := buildLogger(c.level, c.format, c.slowQuery)
+			if (err != nil) != c.wantErr {
+				t.Fatalf("buildLogger(%q, %q, %v) error = %v, wantErr %v", c.level, c.format, c.slowQuery, err, c.wantErr)
+			}
+			if (logger == nil) != c.wantNil {
+				t.Fatalf("buildLogger(%q, %q, %v) logger nil = %v, want %v", c.level, c.format, c.slowQuery, logger == nil, c.wantNil)
+			}
+		})
+	}
+}
+
+func TestDataFlags(t *testing.T) {
+	var d dataFlags
+	if err := d.Set("a=x.csv"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Set("b=y.csv"); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.String(); got != "a=x.csv,b=y.csv" {
+		t.Fatalf("String() = %q", got)
+	}
+}

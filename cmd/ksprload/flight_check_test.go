@@ -1,0 +1,92 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"testing"
+	"time"
+)
+
+// TestFlightPhaseEndToEnd exercises the post-measurement observability
+// smoke against a self-hosted stack: error injection tracked by
+// X-Request-Id, the /v1/debug:flight assertion pass, and the evidence
+// fetch a failed verdict embeds.
+func TestFlightPhaseEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spins up a serving stack")
+	}
+	cfg := testConfig("flight")
+	cfg.injectErrors = 3
+	cfg.checkFlight = true
+	if err := cfg.validate(); err != nil {
+		t.Fatal(err)
+	}
+	base, shutdown, err := selfHost(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdown()
+	r, err := newRunner(cfg, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.loadDatasets(); err != nil {
+		t.Fatal(err)
+	}
+	// One ordinary query so the ring holds normal traffic alongside the
+	// dataset-load events.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	resp, body, err := r.post(ctx, "/v1/kspr", map[string]any{"dataset": "load0", "focal": 1, "k": cfg.k})
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("warm-up query: %v status %v: %s", err, resp.StatusCode, body)
+	}
+
+	if err := r.flightPhase(); err != nil {
+		t.Fatalf("flightPhase: %v", err)
+	}
+
+	// The evidence fetch returns only errors — exactly what a failed run
+	// embeds in its summary.
+	raw := r.flightEvidence()
+	if raw == nil {
+		t.Fatal("flightEvidence returned nil against a live stack")
+	}
+	var env flightEnvelope
+	if err := json.Unmarshal(raw, &env); err != nil {
+		t.Fatalf("evidence does not parse: %v", err)
+	}
+	if len(env.Events) < cfg.injectErrors {
+		t.Fatalf("evidence holds %d events, want >= %d injected errors", len(env.Events), cfg.injectErrors)
+	}
+	for _, ev := range env.Events {
+		if ev.Status < 400 {
+			t.Fatalf("evidence includes a non-error event: %+v", ev)
+		}
+	}
+}
+
+// TestFlightFetchUnreachable: both the evidence fetch and the check phase
+// must fail cleanly when the target is gone, not hang or panic.
+func TestFlightFetchUnreachable(t *testing.T) {
+	cfg := testConfig("deadflight")
+	cfg.injectErrors = 1
+	cfg.checkFlight = true
+	if err := cfg.validate(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := newRunner(cfg, "http://127.0.0.1:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.fetchFlight("errors_only=true"); err == nil {
+		t.Fatal("fetchFlight against a dead address succeeded")
+	}
+	if raw := r.flightEvidence(); raw != nil {
+		t.Fatal("flightEvidence against a dead address returned data")
+	}
+	if err := r.flightPhase(); err == nil {
+		t.Fatal("flightPhase against a dead address succeeded")
+	}
+}

@@ -215,6 +215,8 @@ func TestRunEndToEnd(t *testing.T) {
 	}
 	t.Chdir(t.TempDir())
 	cfg := testConfig("loadtest")
+	cfg.injectErrors = 2
+	cfg.checkFlight = true
 	if err := cfg.validate(); err != nil {
 		t.Fatal(err)
 	}

@@ -74,6 +74,8 @@ func main() {
 	flag.IntVar(&cfg.serverSlots, "server-slots", 1, "self-host: extra CPU slots in the parallelism budget (-1 = zero budget)")
 	flag.StringVar(&cfg.cpuProfile, "cpuprofile", "", "write a CPU profile of the run (self-host: includes the serving stack)")
 	flag.StringVar(&cfg.mutexProfile, "mutexprofile", "", "write a mutex-contention profile of the run")
+	flag.IntVar(&cfg.injectErrors, "inject-errors", 0, "after the timed phase, send this many known-bad requests tracked by X-Request-Id")
+	flag.BoolVar(&cfg.checkFlight, "check-flight", false, "assert the flight recorder captured every injected error and >= 1 sampled normal")
 	flag.Parse()
 
 	if err := cfg.validate(); err != nil {
@@ -112,6 +114,9 @@ type config struct {
 
 	cpuProfile   string
 	mutexProfile string
+
+	injectErrors int
+	checkFlight  bool
 }
 
 func (c *config) validate() error {
@@ -140,6 +145,10 @@ func (c *config) validate() error {
 		return fmt.Errorf("need 1 <= -batch-min <= -batch-max")
 	case c.maxErrorRate < 0 || c.maxErrorRate > 1:
 		return fmt.Errorf("-max-error-rate must be in [0, 1]")
+	case c.injectErrors < 0:
+		return fmt.Errorf("-inject-errors must be >= 0")
+	case c.checkFlight && c.injectErrors < 1:
+		return fmt.Errorf("-check-flight needs -inject-errors >= 1")
 	}
 	return nil
 }
@@ -213,13 +222,34 @@ func run(cfg *config) error {
 	}
 	printSummary(sum, out)
 
-	if sum.Verify.Violations > 0 {
-		return fmt.Errorf("%d invariant violation(s): %s",
+	var verdict error
+	switch {
+	case sum.Verify.Violations > 0:
+		verdict = fmt.Errorf("%d invariant violation(s): %s",
 			sum.Verify.Violations, strings.Join(sum.Verify.Examples, "; "))
-	}
-	if sum.ErrorRate > cfg.maxErrorRate {
-		return fmt.Errorf("error rate %.4f exceeds the %.4f limit: %s",
+	case sum.ErrorRate > cfg.maxErrorRate:
+		verdict = fmt.Errorf("error rate %.4f exceeds the %.4f limit: %s",
 			sum.ErrorRate, cfg.maxErrorRate, strings.Join(r.stats.errExamples(), "; "))
+	}
+	if verdict != nil {
+		// Pull the offending wide events from the stack under test and embed
+		// them in the failure report, so the evidence ships with the verdict.
+		if raw := r.flightEvidence(); raw != nil {
+			sum.FlightEvidence = raw
+			if err := writeSummary(out, sum); err != nil {
+				return err
+			}
+			fmt.Printf("ksprload: embedded flight-recorder evidence (%d bytes) in %s\n", len(raw), out)
+		}
+		return verdict
+	}
+	if cfg.injectErrors > 0 {
+		// Deliberately after the verdict: injection would pollute the
+		// evidence a failed run embeds, and runs after the timed phase so
+		// the BENCH numbers never see it.
+		if err := r.flightPhase(); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -349,6 +379,10 @@ type loadSummary struct {
 	Latency map[string]latencySummary `json:"latency_ns"`
 
 	Verify verifySummary `json:"verify"`
+
+	// FlightEvidence is the raw /v1/debug:flight response (errors plus the
+	// slow tail) embedded when the run fails its verdict; absent otherwise.
+	FlightEvidence json.RawMessage `json:"flight_evidence,omitempty"`
 }
 
 // tailNs is the nearest-rank p-quantile over latency samples.

@@ -1,0 +1,103 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestPromEscapingTable(t *testing.T) {
+	cases := []struct {
+		name  string
+		label string
+		help  string
+		// wantLabel / wantHelp are the escaped forms as they must appear in
+		// the exposition text.
+		wantLabel string
+		wantHelp  string
+	}{
+		{"backslash", `a\b`, `help \ text`, `a\\b`, `help \\ text`},
+		{"newline", "a\nb", "help\ntext", `a\nb`, `help\ntext`},
+		{"double quote", `a"b`, `help "quoted" text`, `a\"b`, `help "quoted" text`},
+		{"all three", "\\\"\n", "\\\n", `\\\"\n`, `\\\n`},
+		{"clean passthrough", "plain", "plain help", "plain", "plain help"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			var b strings.Builder
+			p := NewPromWriter(&b)
+			p.Gauge("m", c.help, 1, Label{"l", c.label})
+			if err := p.Err(); err != nil {
+				t.Fatalf("writer error: %v", err)
+			}
+			out := b.String()
+			if want := "# HELP m " + c.wantHelp + "\n"; !strings.Contains(out, want) {
+				t.Fatalf("help line missing %q in:\n%s", want, out)
+			}
+			if want := `m{l="` + c.wantLabel + `"} 1` + "\n"; !strings.Contains(out, want) {
+				t.Fatalf("sample line missing %q in:\n%s", want, out)
+			}
+		})
+	}
+}
+
+func TestHistogramLadderClamping(t *testing.T) {
+	// The default ladder spans 100µs to 60s; observations outside that
+	// range must clamp to the first bucket and the +Inf bucket.
+	below := []time.Duration{0, time.Nanosecond, 50 * time.Microsecond, 100 * time.Microsecond}
+	above := []time.Duration{60*time.Second + 1, 5 * time.Minute, time.Hour}
+
+	h := NewHistogram(nil)
+	for _, d := range below {
+		h.Observe(d)
+	}
+	for _, d := range above {
+		h.Observe(d)
+	}
+	s := h.Snapshot()
+	if got := s.Counts[0]; got != uint64(len(below)) {
+		t.Fatalf("first bucket = %d, want %d (all sub-100µs samples)", got, len(below))
+	}
+	if got := s.Counts[len(s.Counts)-1]; got != uint64(len(above)) {
+		t.Fatalf("+Inf bucket = %d, want %d (all over-60s samples)", got, len(above))
+	}
+	for i := 1; i < len(s.Counts)-1; i++ {
+		if s.Counts[i] != 0 {
+			t.Fatalf("interior bucket %d = %d, want 0", i, s.Counts[i])
+		}
+	}
+	// Quantiles cannot resolve past the ladder: anything answered from the
+	// +Inf bucket reports the largest finite bound.
+	if q := s.Quantile(1.0); q != 60 {
+		t.Fatalf("p100 = %v, want 60 (largest finite bound)", q)
+	}
+	if q := s.Quantile(0.01); q != 0.0001 {
+		t.Fatalf("p1 = %v, want 0.0001 (first bound)", q)
+	}
+}
+
+func TestQuantileSmallWindows(t *testing.T) {
+	one := NewHistogram([]float64{0.001, 0.01, 0.1})
+	one.Observe(5 * time.Millisecond) // lands in the 0.01 bucket
+	oneSnap := one.Snapshot()
+
+	cases := []struct {
+		name string
+		snap HistSnapshot
+		p    float64
+		want float64
+	}{
+		{"empty snapshot", HistSnapshot{}, 0.5, 0},
+		{"zero samples with bounds", NewHistogram([]float64{0.001}).Snapshot(), 0.99, 0},
+		{"one sample p0", oneSnap, 0, 0.01},
+		{"one sample p50", oneSnap, 0.5, 0.01},
+		{"one sample p100", oneSnap, 1, 0.01},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := c.snap.Quantile(c.p); got != c.want {
+				t.Fatalf("Quantile(%v) = %v, want %v", c.p, got, c.want)
+			}
+		})
+	}
+}

@@ -1,0 +1,247 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Capture kinds: why a wide event made it into the flight ring.
+const (
+	// CaptureError marks requests that finished with status >= 400
+	// (including 429 backpressure) — always captured.
+	CaptureError = "error"
+	// CaptureSlow marks requests at or above the slow threshold — always
+	// captured.
+	CaptureSlow = "slow"
+	// CaptureSampled marks the per-endpoint 1-in-N sample of ordinary
+	// requests that keeps the ring representative of normal traffic.
+	CaptureSampled = "sampled"
+)
+
+// WideEvent is one request's flight-recorder record: everything needed to
+// reconstruct what the request was, what it decided, and where its time
+// went — without having flagged it in advance. Stats is an arbitrary
+// JSON-marshalable payload owned by the serving layer (engine counters,
+// cache decisions); Phases is the engine trace breakdown when one was
+// recorded.
+type WideEvent struct {
+	Time       time.Time `json:"time"`
+	RequestID  string    `json:"request_id,omitempty"`
+	Endpoint   string    `json:"endpoint"`
+	Method     string    `json:"method,omitempty"`
+	Path       string    `json:"path,omitempty"`
+	Dataset    string    `json:"dataset,omitempty"`
+	Generation uint64    `json:"generation,omitempty"`
+	Status     int       `json:"status"`
+	LatencyNs  int64     `json:"latency_ns"`
+	// Kind is the capture reason: error, slow, or sampled.
+	Kind string `json:"kind"`
+	// Cached reports whether the result came from the result cache; Error
+	// carries the response's error text for status >= 400.
+	Cached bool   `json:"cached,omitempty"`
+	Error  string `json:"error,omitempty"`
+	// Stats is the serving layer's per-request decision record (engine
+	// counters, parallelism grants, ...). Any JSON-marshalable value.
+	Stats any `json:"stats,omitempty"`
+	// Phases is the engine phase breakdown (nil when no trace ran).
+	Phases []Phase `json:"phases,omitempty"`
+}
+
+// flightStripes shards the ring so concurrent captures do not serialize
+// on one lock. Must be a power of two (stripe pick is a mask).
+const flightStripes = 8
+
+// DefaultFlightCapacity is the ring's total wide-event capacity.
+const DefaultFlightCapacity = 256
+
+// DefaultFlightSampleEvery is the per-endpoint normal-traffic sampling
+// period: one ordinary (non-error, non-slow) request in this many is
+// captured.
+const DefaultFlightSampleEvery = 64
+
+// flightStripe is one shard of the ring. Events overwrite oldest-first
+// within the stripe, so the union of the stripes holds approximately the
+// most recent `capacity` captured events.
+type flightStripe struct {
+	mu   sync.Mutex
+	buf  []WideEvent
+	next int
+	n    int
+	_    [64]byte // keep neighboring stripe locks off one cache line
+}
+
+// FlightRecorder is the always-on tail-sampling request recorder: every
+// request is offered to ShouldCapture, which keeps all errors, everything
+// over the slow threshold, and a per-endpoint 1-in-N sample of normals.
+// The decision path for a dropped request is one lock-free map lookup plus
+// one atomic increment, so leaving the recorder on costs ordinary traffic
+// essentially nothing. All methods are safe on a nil receiver (recorder
+// disabled).
+type FlightRecorder struct {
+	slow        time.Duration
+	sampleEvery uint64
+	stripePick  atomic.Uint64
+	stripes     [flightStripes]flightStripe
+	samplers    sync.Map // endpoint string -> *atomic.Uint64
+	captured    atomic.Uint64
+	dropped     atomic.Uint64
+}
+
+// NewFlightRecorder sizes the ring to capacity total events (0 selects
+// DefaultFlightCapacity, minimum flightStripes), marks requests at or
+// above slow as slow-captured, and samples one in sampleEvery ordinary
+// requests per endpoint (0 selects DefaultFlightSampleEvery; negative
+// disables normal-traffic sampling entirely).
+func NewFlightRecorder(capacity int, slow time.Duration, sampleEvery int) *FlightRecorder {
+	if capacity <= 0 {
+		capacity = DefaultFlightCapacity
+	}
+	if capacity < flightStripes {
+		capacity = flightStripes
+	}
+	every := uint64(sampleEvery)
+	if sampleEvery == 0 {
+		every = DefaultFlightSampleEvery
+	} else if sampleEvery < 0 {
+		every = 0
+	}
+	f := &FlightRecorder{slow: slow, sampleEvery: every}
+	per := capacity / flightStripes
+	if capacity%flightStripes != 0 {
+		per++
+	}
+	for i := range f.stripes {
+		f.stripes[i].buf = make([]WideEvent, per)
+	}
+	return f
+}
+
+// Enabled reports whether the recorder exists (nil-safe).
+func (f *FlightRecorder) Enabled() bool { return f != nil }
+
+// ShouldCapture decides one finished request's fate: the capture kind and
+// whether to record it at all. Errors (status >= 400) and slow requests
+// always capture; everything else captures once per sampleEvery requests
+// of its endpoint. The drop path — the overwhelmingly common outcome — is
+// one sync.Map load and one atomic add.
+func (f *FlightRecorder) ShouldCapture(endpoint string, status int, latency time.Duration) (string, bool) {
+	if f == nil {
+		return "", false
+	}
+	if status >= 400 {
+		return CaptureError, true
+	}
+	if f.slow > 0 && latency >= f.slow {
+		return CaptureSlow, true
+	}
+	if f.sampleEvery == 0 {
+		f.dropped.Add(1)
+		return "", false
+	}
+	if f.sampleEvery == 1 {
+		return CaptureSampled, true
+	}
+	ctr, ok := f.samplers.Load(endpoint)
+	if !ok {
+		ctr, _ = f.samplers.LoadOrStore(endpoint, new(atomic.Uint64))
+	}
+	if ctr.(*atomic.Uint64).Add(1)%f.sampleEvery == 1 {
+		return CaptureSampled, true
+	}
+	f.dropped.Add(1)
+	return "", false
+}
+
+// Record appends one wide event to the ring, overwriting the stripe's
+// oldest entry when full.
+func (f *FlightRecorder) Record(ev WideEvent) {
+	if f == nil {
+		return
+	}
+	f.captured.Add(1)
+	st := &f.stripes[f.stripePick.Add(1)&(flightStripes-1)]
+	st.mu.Lock()
+	st.buf[st.next] = ev
+	st.next = (st.next + 1) % len(st.buf)
+	if st.n < len(st.buf) {
+		st.n++
+	}
+	st.mu.Unlock()
+}
+
+// FlightFilter narrows an Events read. Zero values mean "no constraint".
+type FlightFilter struct {
+	// Endpoint / Dataset select events matching exactly.
+	Endpoint string
+	Dataset  string
+	// MinLatency keeps only events at least this slow; ErrorsOnly only
+	// status >= 400.
+	MinLatency time.Duration
+	ErrorsOnly bool
+	// Limit caps the result count, keeping the MOST RECENT events (0 = all).
+	Limit int
+}
+
+// Events returns the retained wide events matching the filter, oldest
+// first. The returned slice is a copy; Stats payloads are shared (treat
+// them as immutable).
+func (f *FlightRecorder) Events(filter FlightFilter) []WideEvent {
+	if f == nil {
+		return nil
+	}
+	var out []WideEvent
+	for i := range f.stripes {
+		st := &f.stripes[i]
+		st.mu.Lock()
+		// Oldest-first within the stripe: the slot after next (when full)
+		// is the oldest entry.
+		for k := 0; k < st.n; k++ {
+			idx := k
+			if st.n == len(st.buf) {
+				idx = (st.next + k) % len(st.buf)
+			}
+			ev := st.buf[idx]
+			if matchFlight(&ev, &filter) {
+				out = append(out, ev)
+			}
+		}
+		st.mu.Unlock()
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Time.Before(out[j].Time) })
+	if filter.Limit > 0 && len(out) > filter.Limit {
+		out = out[len(out)-filter.Limit:]
+	}
+	return out
+}
+
+func matchFlight(ev *WideEvent, f *FlightFilter) bool {
+	if f.Endpoint != "" && ev.Endpoint != f.Endpoint {
+		return false
+	}
+	if f.Dataset != "" && ev.Dataset != f.Dataset {
+		return false
+	}
+	if f.MinLatency > 0 && time.Duration(ev.LatencyNs) < f.MinLatency {
+		return false
+	}
+	if f.ErrorsOnly && ev.Status < 400 {
+		return false
+	}
+	return true
+}
+
+// FlightStats reports the recorder's lifetime capture economy.
+type FlightStats struct {
+	Captured uint64 `json:"captured_total"`
+	Dropped  uint64 `json:"dropped_total"`
+}
+
+// Stats returns capture/drop totals since start (zero on nil).
+func (f *FlightRecorder) Stats() FlightStats {
+	if f == nil {
+		return FlightStats{}
+	}
+	return FlightStats{Captured: f.captured.Load(), Dropped: f.dropped.Load()}
+}

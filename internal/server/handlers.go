@@ -16,6 +16,7 @@ import (
 
 	kspr "repro"
 	"repro/internal/dataset"
+	"repro/internal/obs"
 )
 
 // ---- wire types ----------------------------------------------------------
@@ -391,6 +392,14 @@ func (s *Server) handleDatasetLoad(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	reqInfoFrom(r.Context()).noteDataset(snap)
+	s.journal.Append(obs.JournalEvent{
+		Type:            obs.EventDatasetLoad,
+		Dataset:         snap.Name,
+		Generation:      snap.Generation,
+		StoreGeneration: snap.StoreGeneration,
+		Detail:          map[string]any{"records": snap.DB.Len(), "source": snap.Source},
+	})
 	writeJSON(w, http.StatusOK, DatasetInfo{
 		Name:            snap.Name,
 		Generation:      snap.Generation,
@@ -401,6 +410,7 @@ func (s *Server) handleDatasetLoad(w http.ResponseWriter, r *http.Request) {
 		Attributes:      snap.Dataset.Attributes,
 		Source:          snap.Source,
 		LoadedAt:        snap.LoadedAt,
+		IndexWarm:       snap.IndexWarm,
 	})
 }
 
@@ -410,6 +420,7 @@ func (s *Server) handleDatasetUnload(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "dataset %q not found", name)
 		return
 	}
+	s.journal.Append(obs.JournalEvent{Type: obs.EventDatasetUnload, Dataset: name})
 	writeJSON(w, http.StatusOK, map[string]string{"unloaded": name})
 }
 
@@ -691,6 +702,8 @@ func (s *Server) serveKSPR(w http.ResponseWriter, r *http.Request, req queryRequ
 		writeError(w, http.StatusNotFound, "dataset %q not found", req.Dataset)
 		return
 	}
+	info := reqInfoFrom(r.Context())
+	info.noteDataset(snap)
 	ctx, cancel := context.WithTimeout(r.Context(), s.timeout(req.TimeoutMs))
 	defer cancel()
 	resp, _, err := s.runKSPR(ctx, snap, req)
@@ -698,7 +711,9 @@ func (s *Server) serveKSPR(w http.ResponseWriter, r *http.Request, req queryRequ
 		writeError(w, errStatusCode(err), "%v", err)
 		return
 	}
-	if info := reqInfoFrom(ctx); info.Debug() {
+	info.noteCached(resp.Cached)
+	info.noteStats(resp.Stats)
+	if info.Debug() {
 		resp.Trace = traceToWire(info)
 	}
 	writeJSON(w, http.StatusOK, resp)
@@ -828,6 +843,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "dataset %q not found", req.Dataset)
 		return
 	}
+	reqInfoFrom(r.Context()).noteDataset(snap)
 	if len(items) == 0 {
 		writeError(w, http.StatusBadRequest, "batch has no queries")
 		return
@@ -921,6 +937,17 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	if len(queries) > 0 && ask > 1 && !approx {
 		granted, err = s.cpu.AcquireRequired(ask - 1)
 		if err != nil {
+			// A shed batch is a store-level incident worth correlating
+			// against the slow requests that drained the budget.
+			s.journal.Append(obs.JournalEvent{
+				Type:       obs.EventCPUBudgetExhausted,
+				Dataset:    snap.Name,
+				Generation: snap.Generation,
+				Detail: map[string]any{
+					"asked": ask, "in_use": s.cpu.InUse(), "slots": s.cpu.Slots(),
+					"items": len(items),
+				},
+			})
 			w.Header().Set("Retry-After", "1")
 			writeError(w, http.StatusTooManyRequests, "%v", err)
 			return
@@ -1002,6 +1029,10 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	// The stream itself is always 200, so surface per-query failures to
 	// the error counters explicitly — operators alert on errors_total.
 	s.metrics.AddErrors(failed)
+	reqInfoFrom(r.Context()).noteStats(map[string]any{
+		"items": len(items), "computed": len(queries), "failed": failed,
+		"parallelism": parallelism,
+	})
 }
 
 // batchItemRequest maps one batch item to the equivalent single-query
@@ -1092,6 +1123,7 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "dataset %q not found", req.Dataset)
 		return
 	}
+	reqInfoFrom(r.Context()).noteDataset(snap)
 	if req.K < 1 {
 		writeError(w, http.StatusBadRequest, "k must be >= 1, got %d", req.K)
 		return
@@ -1137,6 +1169,7 @@ func (s *Server) handleSkyline(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "dataset %q not found", name)
 		return
 	}
+	reqInfoFrom(r.Context()).noteDataset(snap)
 	k := 0
 	if ks := r.URL.Query().Get("k"); ks != "" {
 		var err error
@@ -1237,6 +1270,7 @@ func (s *Server) handleImpact(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "dataset %q not found", req.Dataset)
 		return
 	}
+	reqInfoFrom(r.Context()).noteDataset(snap)
 	// Region-membership sampling needs an exact kSPR result; reject approx
 	// upfront rather than after burning a worker on the query.
 	if _, approx, err := parseAlgorithm(req.Algorithm); err != nil {

@@ -371,5 +371,18 @@ func (m *Metrics) WriteProm(w io.Writer, snap MetricsSnapshot) error {
 	}
 	p.Gauge("kspr_whatif_keep_rate", "Fraction of what-if probes answered without an engine run.", keepRate)
 	p.Gauge("kspr_datasets", "Datasets currently registered.", float64(len(snap.Datasets)))
+	if len(snap.Datasets) > 0 {
+		// 1 = the candidate index came from the persisted layout (warm
+		// restart), 0 = it was rebuilt cold. Snapshot order is already
+		// sorted by name.
+		p.Header("ksprd_index_warm", "Whether the dataset's candidate index was restored warm (1) or rebuilt cold (0).", "gauge")
+		for _, d := range snap.Datasets {
+			v := 0.0
+			if d.IndexWarm {
+				v = 1.0
+			}
+			p.Sample("ksprd_index_warm", []obs.Label{{Name: "dataset", Value: d.Name}}, v)
+		}
+	}
 	return p.Err()
 }

@@ -17,6 +17,7 @@ import (
 	"strings"
 
 	kspr "repro"
+	"repro/internal/obs"
 )
 
 // mutateOp is one wire-form mutation.
@@ -189,7 +190,21 @@ func (s *Server) handleDatasetMutate(w http.ResponseWriter, r *http.Request) {
 		}
 		return
 	}
+	reqInfoFrom(r.Context()).noteDataset(cur)
+	s.journal.Append(obs.JournalEvent{
+		Type:            obs.EventMutationBatch,
+		Dataset:         cur.Name,
+		Generation:      cur.Generation,
+		StoreGeneration: cur.StoreGeneration,
+		Detail:          map[string]any{"mutations": len(muts), "records": cur.DB.Len()},
+	})
 	migrated, dropped := s.migrateCache(old, cur, res.Deltas)
+	s.journal.Append(obs.JournalEvent{
+		Type:       obs.EventCacheMigration,
+		Dataset:    cur.Name,
+		Generation: cur.Generation,
+		Detail:     map[string]any{"migrated": migrated, "dropped": dropped, "from_generation": old.Generation},
+	})
 	s.metrics.AddMutationBatch(len(muts), migrated, dropped)
 	writeJSON(w, http.StatusOK, mutateResponse{
 		Dataset:         cur.Name,

@@ -17,6 +17,38 @@ type reqInfo struct {
 	id    string
 	debug bool
 	trace *obs.Trace
+	// Flight-recorder annotations: handlers note the dataset/generation
+	// they resolved, whether the result was served from cache, and the
+	// per-request decision stats; instrument reads them after the handler
+	// returns (same goroutine, no locking needed).
+	dataset    string
+	generation uint64
+	cached     bool
+	stats      any
+}
+
+// noteDataset records which dataset incarnation the request resolved, for
+// the wide event instrument may capture. Nil-safe on both sides.
+func (ri *reqInfo) noteDataset(snap *Snapshot) {
+	if ri == nil || snap == nil {
+		return
+	}
+	ri.dataset, ri.generation = snap.Name, snap.Generation
+}
+
+// noteCached records whether the response came from the result cache.
+func (ri *reqInfo) noteCached(cached bool) {
+	if ri != nil {
+		ri.cached = cached
+	}
+}
+
+// noteStats attaches the request's decision stats (any JSON-marshalable
+// value) to its eventual wide event.
+func (ri *reqInfo) noteStats(stats any) {
+	if ri != nil {
+		ri.stats = stats
+	}
 }
 
 // Trace returns the request's engine trace; nil (tracing off) on a nil
@@ -140,9 +172,18 @@ func (s *Server) logRequest(endpoint string, r *http.Request, ri *reqInfo, statu
 // so a replaying node takes no traffic.
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	if s.ready.Load() {
+		// Per-dataset index warm/cold detail: a ready node that rebuilt its
+		// candidate indexes cold is serving, but slower than its warm peers —
+		// operators draining/rolling nodes want to see which is which.
+		infos := s.registry.List()
+		warm := make(map[string]bool, len(infos))
+		for _, info := range infos {
+			warm[info.Name] = info.IndexWarm
+		}
 		writeJSON(w, http.StatusOK, map[string]any{
-			"status":   "ready",
-			"datasets": len(s.registry.List()),
+			"status":     "ready",
+			"datasets":   len(infos),
+			"index_warm": warm,
 		})
 		return
 	}

@@ -47,6 +47,9 @@ type Snapshot struct {
 	LoadedAt time.Time
 	// Source describes where the data came from (path, "generated", ...).
 	Source string
+	// IndexWarm reports whether this incarnation's candidate index was
+	// reassembled from the persisted layout (true) or rebuilt cold.
+	IndexWarm bool
 }
 
 // DatasetInfo is the registry listing entry exposed over the API.
@@ -60,6 +63,9 @@ type DatasetInfo struct {
 	Attributes      []string  `json:"attributes,omitempty"`
 	Source          string    `json:"source,omitempty"`
 	LoadedAt        time.Time `json:"loaded_at"`
+	// IndexWarm reports whether the dataset's candidate index came from the
+	// persisted layout (warm restart) rather than a cold rebuild.
+	IndexWarm bool `json:"index_warm"`
 }
 
 // liveEntry is the mutable state behind one registered dataset: the live
@@ -88,6 +94,12 @@ type Registry struct {
 	storeDir      string
 	walSync       bool
 	snapshotEvery int
+
+	// onStoreEvent, when set, receives each durable dataset's store
+	// lifecycle events (WAL recovery, snapshot writes, index warm/cold)
+	// tagged with the dataset name. Set it before any Load/Recover; the
+	// callback may run with store locks held, so keep it fast.
+	onStoreEvent func(name string, ev kspr.StoreEvent)
 }
 
 // NewRegistry returns an empty, in-memory registry.
@@ -108,6 +120,15 @@ func NewRegistryWithStore(dir string, walSync bool, snapshotEvery int) *Registry
 
 // Durable reports whether the registry's datasets are WAL-backed.
 func (r *Registry) Durable() bool { return r.storeDir != "" }
+
+// SetStoreEventHook installs the per-dataset store lifecycle-event hook
+// (see Registry.onStoreEvent). Call it before Load or Recover open any
+// stores; events from already-open stores are not retrofitted.
+func (r *Registry) SetStoreEventHook(fn func(name string, ev kspr.StoreEvent)) {
+	r.mu.Lock()
+	r.onStoreEvent = fn
+	r.mu.Unlock()
+}
 
 // ErrDatasetNotFound marks registry operations on unknown dataset names;
 // handlers map it to 404.
@@ -212,7 +233,11 @@ func (r *Registry) openEntryLocked(name string) (*liveEntry, bool, error) {
 	if entry, ok := r.lives[name]; ok {
 		return entry, false, nil
 	}
-	db, err := kspr.OpenStore(filepath.Join(r.storeDir, name), r.storeOptions()...)
+	opts := r.storeOptions()
+	if hook := r.onStoreEvent; hook != nil {
+		opts = append(opts, kspr.WithStoreEvents(func(ev kspr.StoreEvent) { hook(name, ev) }))
+	}
+	db, err := kspr.OpenStore(filepath.Join(r.storeDir, name), opts...)
 	if err != nil {
 		return nil, false, fmt.Errorf("server: opening store for dataset %q: %w", name, err)
 	}
@@ -252,8 +277,9 @@ func (r *Registry) installLocked(name string, e *liveEntry) *Snapshot {
 			Attributes: e.attrs,
 			Labels:     labels,
 		},
-		LoadedAt: time.Now(),
-		Source:   e.source,
+		LoadedAt:  time.Now(),
+		Source:    e.source,
+		IndexWarm: frozen.IndexWarm(),
 	}
 	r.sets[name] = snap
 	return snap
@@ -513,6 +539,7 @@ func (r *Registry) List() []DatasetInfo {
 			Attributes:      s.Dataset.Attributes,
 			Source:          s.Source,
 			LoadedAt:        s.LoadedAt,
+			IndexWarm:       s.IndexWarm,
 		})
 	}
 	r.mu.RUnlock()

@@ -2,12 +2,14 @@ package server
 
 import (
 	"context"
+	"fmt"
 	"log/slog"
 	"net/http"
 	"runtime"
 	"sync/atomic"
 	"time"
 
+	kspr "repro"
 	"repro/internal/obs"
 )
 
@@ -60,7 +62,28 @@ type Config struct {
 	// request gets a trace when the threshold is set, so the breakdown is
 	// available without ?debug=trace). <= 0 disables the slow-query log.
 	SlowQuery time.Duration
+	// FlightCapacity sizes the flight recorder's wide-event ring (0 =
+	// obs.DefaultFlightCapacity; negative disables the recorder entirely).
+	// The recorder is otherwise always on: it keeps all errors and 429s,
+	// everything at or past the slow-query threshold (or 500ms when no
+	// threshold is set), and a per-endpoint sample of normal traffic, all
+	// readable at GET /v1/debug:flight.
+	FlightCapacity int
+	// FlightSampleEvery captures one in this many ordinary (non-error,
+	// non-slow) requests per endpoint (0 = obs.DefaultFlightSampleEvery;
+	// negative disables normal-traffic sampling, keeping only errors and
+	// slow requests).
+	FlightSampleEvery int
+	// BlackBoxDir, when non-empty, arms the crash black box: a handler
+	// panic (and, in ksprd, SIGQUIT) dumps the flight ring, the event
+	// journal, and a metrics snapshot to one JSON bundle under this
+	// directory before the process dies.
+	BlackBoxDir string
 }
+
+// defaultFlightSlow classifies requests as slow for flight capture when no
+// slow-query threshold is configured.
+const defaultFlightSlow = 500 * time.Millisecond
 
 func (c *Config) normalize() {
 	if c.Workers <= 0 {
@@ -102,6 +125,11 @@ type Server struct {
 	metrics  *Metrics
 	mux      *http.ServeMux
 	logger   *slog.Logger
+	// flight is the always-on tail-sampling request recorder (nil when
+	// Config.FlightCapacity < 0); journal the lifecycle event log both
+	// debug endpoints and the black box read.
+	flight  *obs.FlightRecorder
+	journal *obs.Journal
 	// ready flips once startup WAL recovery finishes (or was never
 	// needed); /readyz serves 503 until then.
 	ready atomic.Bool
@@ -122,7 +150,26 @@ func NewServer(cfg Config) *Server {
 		cpu:      NewCPUBudget(cfg.CPUSlots),
 		metrics:  NewMetrics(),
 		logger:   cfg.Logger,
+		journal:  obs.NewJournal(0),
 	}
+	if cfg.FlightCapacity >= 0 {
+		slow := cfg.SlowQuery
+		if slow <= 0 {
+			slow = defaultFlightSlow
+		}
+		s.flight = obs.NewFlightRecorder(cfg.FlightCapacity, slow, cfg.FlightSampleEvery)
+	}
+	// Durable stores report their lifecycle (WAL recovery, snapshot
+	// writes, index warm/cold) into the journal, tagged per dataset — the
+	// hook must be installed before any Load/Recover opens a store.
+	registry.SetStoreEventHook(func(name string, ev kspr.StoreEvent) {
+		s.journal.Append(obs.JournalEvent{
+			Type:            ev.Kind,
+			Dataset:         name,
+			StoreGeneration: ev.Gen,
+			Detail:          map[string]any{"records": ev.Records, "wal_frames": ev.WALFrames},
+		})
+	})
 	// A store-less server has nothing to recover; store-backed servers
 	// become ready when RecoverDatasets finishes.
 	s.ready.Store(cfg.StoreDir == "")
@@ -149,6 +196,10 @@ func NewServer(cfg Config) *Server {
 	mux.HandleFunc("GET /v1/impact:competitors", s.instrument("impact.competitors", s.handleCompetitors))
 	mux.HandleFunc("POST /v1/whatif:price", s.instrument("whatif.price", s.handlePrice))
 	mux.HandleFunc("POST /v1/whatif:frontier", s.instrument("whatif.frontier", s.handleFrontier))
+	// Post-hoc forensics: the flight recorder's wide events and the
+	// lifecycle event journal (same custom-verb style as :mutate).
+	mux.HandleFunc("GET /v1/debug:flight", s.instrument("debug.flight", s.handleDebugFlight))
+	mux.HandleFunc("GET /v1/debug:events", s.instrument("debug.events", s.handleDebugEvents))
 	s.mux = mux
 	return s
 }
@@ -173,15 +224,35 @@ func (s *Server) RecoverDatasets() ([]*Snapshot, error) {
 // Handler returns the service's HTTP handler.
 func (s *Server) Handler() http.Handler { return s.mux }
 
-// statusRecorder captures the response status for metrics.
+// errBodyCap bounds how much error-response body the flight recorder
+// keeps per request — enough for the {"error": ...} envelope, never a
+// payload.
+const errBodyCap = 256
+
+// statusRecorder captures the response status for metrics and, on error
+// responses, the leading bytes of the body for the flight recorder.
 type statusRecorder struct {
 	http.ResponseWriter
-	status int
+	status  int
+	errBody []byte
 }
 
 func (r *statusRecorder) WriteHeader(code int) {
 	r.status = code
 	r.ResponseWriter.WriteHeader(code)
+}
+
+// Write tees the first errBodyCap bytes of error responses into errBody so
+// captured wide events carry the error text without any handler changes.
+func (r *statusRecorder) Write(p []byte) (int, error) {
+	if r.status >= 400 && len(r.errBody) < errBodyCap {
+		keep := errBodyCap - len(r.errBody)
+		if keep > len(p) {
+			keep = len(p)
+		}
+		r.errBody = append(r.errBody, p[:keep]...)
+	}
+	return r.ResponseWriter.Write(p)
 }
 
 // Flush forwards streaming flushes (the batch endpoint needs this through
@@ -204,16 +275,53 @@ func (s *Server) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
 		}
 		w.Header().Set("X-Request-Id", id)
 		ri := &reqInfo{id: id, debug: wantTrace(r)}
-		if ri.debug || s.cfg.SlowQuery > 0 {
+		// The flight recorder needs a trace on EVERY request: whether one
+		// turns out slow (and so capture-worthy) is only known at the end.
+		if ri.debug || s.cfg.SlowQuery > 0 || s.flight.Enabled() {
 			ri.trace = obs.NewTrace()
 		}
 		r = r.WithContext(context.WithValue(r.Context(), reqInfoKey{}, ri))
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
 		start := time.Now()
+		if s.cfg.BlackBoxDir != "" {
+			defer func() {
+				p := recover()
+				if p == nil {
+					return
+				}
+				// Capture the panicking request itself, then dump the black
+				// box; the re-panic preserves net/http's panic semantics.
+				s.flight.Record(obs.WideEvent{
+					Time: start, RequestID: id, Endpoint: name,
+					Method: r.Method, Path: r.URL.Path,
+					Dataset: ri.dataset, Generation: ri.generation,
+					Status:    http.StatusInternalServerError,
+					LatencyNs: int64(time.Since(start)), Kind: obs.CaptureError,
+					Error: fmt.Sprintf("panic: %v", p),
+				})
+				if _, err := s.WriteBlackBox(fmt.Sprintf("panic in %s: %v", name, p)); err != nil && s.logger != nil {
+					s.logger.Error("black box write failed", slog.String("error", err.Error()))
+				}
+				panic(p)
+			}()
+		}
 		h(rec, r)
 		elapsed := time.Since(start)
 		s.metrics.Observe(name, elapsed, rec.status >= 400)
 		s.logRequest(name, r, ri, rec.status, elapsed)
+		if kind, ok := s.flight.ShouldCapture(name, rec.status, elapsed); ok {
+			ev := obs.WideEvent{
+				Time: start, RequestID: id, Endpoint: name,
+				Method: r.Method, Path: r.URL.Path,
+				Dataset: ri.dataset, Generation: ri.generation,
+				Status: rec.status, LatencyNs: int64(elapsed), Kind: kind,
+				Cached: ri.cached, Error: string(rec.errBody), Stats: ri.stats,
+			}
+			if ri.trace != nil {
+				ev.Phases = ri.trace.Phases()
+			}
+			s.flight.Record(ev)
+		}
 	}
 }
 

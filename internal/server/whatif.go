@@ -193,6 +193,7 @@ func (s *Server) handleCompetitors(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "dataset %q not found", q.Get("dataset"))
 		return
 	}
+	reqInfoFrom(r.Context()).noteDataset(snap)
 	focal, err := strconv.Atoi(q.Get("focal"))
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "invalid focal %q", q.Get("focal"))
@@ -295,6 +296,7 @@ func (s *Server) handlePrice(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "dataset %q not found", req.Dataset)
 		return
 	}
+	reqInfoFrom(r.Context()).noteDataset(snap)
 	if req.K < 1 {
 		writeError(w, http.StatusBadRequest, "k must be >= 1, got %d", req.K)
 		return
@@ -407,6 +409,7 @@ func (s *Server) handleFrontier(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "dataset %q not found", req.Dataset)
 		return
 	}
+	reqInfoFrom(r.Context()).noteDataset(snap)
 	if req.K < 1 {
 		writeError(w, http.StatusBadRequest, "k must be >= 1, got %d", req.K)
 		return

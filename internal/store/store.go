@@ -142,6 +142,39 @@ type Options struct {
 	// SnapshotEvery writes a snapshot and truncates the WAL after this many
 	// applied batches (default 256; negative disables automatic snapshots).
 	SnapshotEvery int
+	// OnEvent, when set, is called for store lifecycle events (WAL
+	// recovery, snapshot writes). The callback may run while the store's
+	// mutex is held, so it must be fast and must not call back into the
+	// store.
+	OnEvent func(Event)
+}
+
+// Event is one store lifecycle event delivered to Options.OnEvent.
+type Event struct {
+	// Kind is "wal_recovery" or "snapshot_write".
+	Kind string
+	// Gen is the store generation in force after the event.
+	Gen uint64
+	// Records is the live record count at Gen.
+	Records int
+	// WALFrames is the number of WAL frames replayed beyond the snapshot
+	// (wal_recovery) or compacted away (snapshot_write).
+	WALFrames int
+}
+
+// Store event kinds delivered to Options.OnEvent.
+const (
+	// EventWALRecovery fires once per Open after snapshot load + WAL replay.
+	EventWALRecovery = "wal_recovery"
+	// EventSnapshotWrite fires after each successful snapshot + WAL truncate.
+	EventSnapshotWrite = "snapshot_write"
+)
+
+// emit delivers ev to the OnEvent hook when one is installed.
+func (s *Store) emit(ev Event) {
+	if s.opts.OnEvent != nil {
+		s.opts.OnEvent(ev)
+	}
 }
 
 // DefaultSnapshotEvery is the automatic snapshot cadence in applied
@@ -192,6 +225,7 @@ func Open(dir string, opts Options) (*Store, error) {
 	}
 	s.wal, s.walSize, s.walCount = wal, size, count
 	s.cur.Store(ver)
+	s.emit(Event{Kind: EventWALRecovery, Gen: ver.Gen, Records: ver.Len(), WALFrames: count})
 	return s, nil
 }
 
@@ -290,7 +324,9 @@ func (s *Store) snapshotLocked() error {
 	if _, err := s.wal.Seek(0, 0); err != nil {
 		return fmt.Errorf("store: rewind wal: %w", err)
 	}
+	compacted := s.walCount
 	s.walSize, s.walCount = 0, 0
+	s.emit(Event{Kind: EventSnapshotWrite, Gen: ver.Gen, Records: ver.Len(), WALFrames: compacted})
 	return nil
 }
 

@@ -88,6 +88,31 @@ type storeConfig struct {
 	sync     bool
 	snapshot int
 	fanout   int
+	onEvent  func(StoreEvent)
+}
+
+// StoreEvent is one durable-store lifecycle event (WAL recovery, snapshot
+// write, index warm/cold decision) delivered to a WithStoreEvents hook.
+type StoreEvent = store.Event
+
+// Store event kinds delivered to WithStoreEvents hooks, extending the
+// underlying store's wal_recovery / snapshot_write with the candidate-index
+// open decision.
+const (
+	// StoreEventIndexWarm fires when OpenStore reassembles the R-tree from
+	// a persisted candidate index (restart skipped the O(n log n) rebuild).
+	StoreEventIndexWarm = "index_warm"
+	// StoreEventIndexCold fires when OpenStore had to rebuild the index
+	// from scratch (missing, stale, or invalid index file).
+	StoreEventIndexCold = "index_cold"
+)
+
+// WithStoreEvents installs a lifecycle-event hook on the opened store:
+// WAL recovery, snapshot writes, and the index warm/cold decision. The
+// hook may run with internal store locks held — keep it fast and do not
+// call back into the DB.
+func WithStoreEvents(fn func(StoreEvent)) StoreOption {
+	return func(c *storeConfig) { c.onEvent = fn }
 }
 
 // WithWALSync fsyncs the write-ahead log after every applied batch, making
@@ -119,7 +144,7 @@ func OpenStore(dir string, opts ...StoreOption) (*DB, error) {
 	for _, o := range opts {
 		o(&cfg)
 	}
-	st, err := store.Open(dir, store.Options{Sync: cfg.sync, SnapshotEvery: cfg.snapshot})
+	st, err := store.Open(dir, store.Options{Sync: cfg.sync, SnapshotEvery: cfg.snapshot, OnEvent: cfg.onEvent})
 	if err != nil {
 		return nil, fmt.Errorf("kspr: %w", err)
 	}
@@ -139,6 +164,13 @@ func OpenStore(dir string, opts ...StoreOption) (*DB, error) {
 		// to its tree is race-free. Persistence is advisory — an
 		// unwritable index file must not fail the open.
 		_ = store.WriteIndex(dir, db.attachIndex(state))
+	}
+	if cfg.onEvent != nil && state.tree != nil {
+		kind := StoreEventIndexCold
+		if state.warmIndex {
+			kind = StoreEventIndexWarm
+		}
+		cfg.onEvent(StoreEvent{Kind: kind, Gen: state.gen, Records: len(state.ids)})
 	}
 	db.st.Store(state)
 	return db, nil

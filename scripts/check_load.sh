@@ -24,10 +24,15 @@ if [ ! -f "$baseline" ]; then
 fi
 
 # Re-run the baseline workload shape (same datasets/n/d/k — benchcmp
-# rejects a mismatch) at a CI-friendly duration.
+# rejects a mismatch) at a CI-friendly duration. The flight-check flags
+# make the run double as the observability smoke: after the timed phase
+# ksprload injects known-bad requests and asserts the server's flight
+# recorder captured every one of them plus at least one sampled normal.
 go run ./cmd/ksprload \
     -duration "${LOAD_DURATION:-5s}" \
     -conc "${LOAD_CONC:-8}" \
+    -inject-errors "${LOAD_INJECT_ERRORS:-5}" \
+    -check-flight \
     -name load_ci
 
 go run ./scripts/benchcmp \

@@ -7,8 +7,12 @@
 // daemon right after a snapshot (which writes the index file), asserts
 // the restart recovers WARM (from the persisted index, per the recovery
 // log marker), then deletes the index file and asserts a COLD restart
-// serves byte-identical query results. It uses only the Go toolchain
-// and net/http (no curl/jq), so `make ci` works on minimal machines.
+// serves byte-identical query results. A third phase exercises the crash
+// black box: it starts ksprd with -blackbox-dir, drives one good and one
+// failing request through it, SIGQUITs the daemon, and asserts a
+// parseable black-box bundle (flight ring + event journal + metrics) was
+// written before death. It uses only the Go toolchain and net/http (no
+// curl/jq), so `make ci` works on minimal machines.
 package main
 
 import (
@@ -156,7 +160,10 @@ func run() error {
 
 	daemon2.cmd.Process.Signal(syscall.SIGTERM)
 	daemon2.cmd.Wait()
-	return indexPhase(work, bin)
+	if err := indexPhase(work, bin); err != nil {
+		return err
+	}
+	return blackboxPhase(work, bin)
 }
 
 // indexPhase exercises candidate-index persistence across a crash: with a
@@ -277,6 +284,98 @@ func indexPhase(work, bin string) error {
 		return fmt.Errorf("warm and cold restarts answered differently:\nwarm: %s\ncold: %s", warmResult, coldResult)
 	}
 	fmt.Println("crashsmoke: persisted index recovered warm; warm == cold query results")
+	return nil
+}
+
+// blackboxPhase exercises the crash black box: SIGQUIT on a daemon
+// started with -blackbox-dir must produce one parseable JSON bundle
+// carrying the flight-recorder ring (including the failing request we
+// drove through it), the event journal, and a metrics snapshot — written
+// BEFORE the process dies with the conventional 128+SIGQUIT status.
+func blackboxPhase(work, bin string) error {
+	storeDir := filepath.Join(work, "stores-blackbox")
+	bbDir := filepath.Join(work, "blackbox")
+
+	addr, err := freeAddr()
+	if err != nil {
+		return err
+	}
+	base := "http://" + addr
+	daemon, err := startDaemon(bin, addr, storeDir, "-blackbox-dir", bbDir)
+	if err != nil {
+		return err
+	}
+	defer daemon.kill()
+	if err := post(base+"/v1/datasets", map[string]any{
+		"name":     "smoke",
+		"generate": map[string]any{"dist": "IND", "n": 400, "d": 3, "seed": 42},
+	}, nil); err != nil {
+		return fmt.Errorf("loading dataset: %w", err)
+	}
+	// One good request (journal + a sampled/normal wide-event candidate)
+	// and one failing request (errors are always captured).
+	if err := post(base+"/v1/kspr", map[string]any{"dataset": "smoke", "focal": 3, "k": 5}, nil); err != nil {
+		return fmt.Errorf("query before SIGQUIT: %w", err)
+	}
+	err = post(base+"/v1/kspr", map[string]any{"dataset": "no-such-dataset", "focal": 0, "k": 1}, nil)
+	if err == nil || !strings.Contains(err.Error(), "status 404") {
+		return fmt.Errorf("query against a missing dataset: got %v, want a 404", err)
+	}
+
+	if err := daemon.cmd.Process.Signal(syscall.SIGQUIT); err != nil {
+		return fmt.Errorf("sending SIGQUIT: %w", err)
+	}
+	daemon.cmd.Wait()
+	if code := daemon.cmd.ProcessState.ExitCode(); code != 128+int(syscall.SIGQUIT) {
+		return fmt.Errorf("daemon exited %d after SIGQUIT, want %d; log:\n%s",
+			code, 128+int(syscall.SIGQUIT), daemon.log.String())
+	}
+
+	bundles, err := filepath.Glob(filepath.Join(bbDir, "blackbox-*.json"))
+	if err != nil {
+		return err
+	}
+	if len(bundles) != 1 {
+		return fmt.Errorf("found %d black-box bundles in %s, want exactly 1; log:\n%s",
+			len(bundles), bbDir, daemon.log.String())
+	}
+	raw, err := os.ReadFile(bundles[0])
+	if err != nil {
+		return err
+	}
+	var bundle struct {
+		Time    string            `json:"time"`
+		Reason  string            `json:"reason"`
+		PID     int               `json:"pid"`
+		Flight  []json.RawMessage `json:"flight"`
+		Journal []struct {
+			Seq  uint64 `json:"seq"`
+			Type string `json:"type"`
+		} `json:"journal"`
+		Metrics json.RawMessage `json:"metrics"`
+	}
+	if err := json.Unmarshal(raw, &bundle); err != nil {
+		return fmt.Errorf("black-box bundle %s is not valid JSON: %w", bundles[0], err)
+	}
+	if bundle.Reason != "SIGQUIT" {
+		return fmt.Errorf("bundle reason %q, want SIGQUIT", bundle.Reason)
+	}
+	if len(bundle.Flight) == 0 {
+		return fmt.Errorf("bundle carries no flight-recorder events")
+	}
+	if len(bundle.Journal) == 0 {
+		return fmt.Errorf("bundle carries no journal events")
+	}
+	for i, ev := range bundle.Journal {
+		if ev.Seq != uint64(i+1) {
+			return fmt.Errorf("journal event %d has seq %d, want contiguous from 1", i, ev.Seq)
+		}
+	}
+	if len(bundle.Metrics) == 0 || string(bundle.Metrics) == "null" {
+		return fmt.Errorf("bundle carries no metrics snapshot")
+	}
+	fmt.Printf("crashsmoke: SIGQUIT black box ok: %d flight events, %d journal events in %s\n",
+		len(bundle.Flight), len(bundle.Journal), filepath.Base(bundles[0]))
 	return nil
 }
 
