@@ -33,6 +33,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/server"
 )
 
@@ -69,10 +70,20 @@ func main() {
 		flightCap = flag.Int("flight-capacity", 0, "flight recorder ring capacity in wide events (0 = 256, negative = recorder off)")
 		flightN   = flag.Int("flight-sample-every", 0, "capture one in N ordinary requests per endpoint in the flight recorder (0 = 64, negative = errors/slow only)")
 		blackBox  = flag.String("blackbox-dir", "", "dump flight ring + event journal + metrics here on panic or SIGQUIT (empty = off)")
+		histEvery = flag.Duration("history-interval", 0, "telemetry history sampling interval (0 = 10s, negative = history + SLO engine off)")
+		histKeep  = flag.Duration("history-retention", 0, "telemetry history retention (0 = 1h)")
+		sloAvail  = flag.Float64("slo-availability", 0, "availability SLO target in (0,1) (0 = 0.999, negative = objective off)")
+		sloP99Ms  = flag.Int("slo-p99-ms", 0, "per-class p99 latency SLO bound in ms (0 = 500, negative = latency objectives off)")
+		version   = flag.Bool("version", false, "print build identity and exit")
 	)
 	flag.Var(&preload, "data", "preload dataset as name=path.csv (repeatable; with -store-dir this seeds/replaces the named store)")
 	flag.Parse()
 
+	if *version {
+		bi := obs.ReadBuildInfo()
+		fmt.Printf("ksprd %s (%s, GOAMD64=%s)\n", bi.Version, bi.Go, bi.GOAMD64)
+		return
+	}
 	if *storeDir == "" && (*walSync || *snapshot != 0) {
 		fatal(fmt.Errorf("-wal-sync / -snapshot-every need -store-dir"))
 	}
@@ -114,6 +125,10 @@ func main() {
 		FlightCapacity:    *flightCap,
 		FlightSampleEvery: *flightN,
 		BlackBoxDir:       *blackBox,
+		HistoryInterval:   *histEvery,
+		HistoryRetention:  *histKeep,
+		SLOAvailability:   *sloAvail,
+		SLOP99:            time.Duration(*sloP99Ms) * time.Millisecond,
 	})
 	if *blackBox != "" {
 		// SIGQUIT becomes the black-box trigger: dump the flight ring, the

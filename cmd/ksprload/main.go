@@ -76,6 +76,7 @@ func main() {
 	flag.StringVar(&cfg.mutexProfile, "mutexprofile", "", "write a mutex-contention profile of the run")
 	flag.IntVar(&cfg.injectErrors, "inject-errors", 0, "after the timed phase, send this many known-bad requests tracked by X-Request-Id")
 	flag.BoolVar(&cfg.checkFlight, "check-flight", false, "assert the flight recorder captured every injected error and >= 1 sampled normal")
+	flag.BoolVar(&cfg.checkHealth, "check-health", false, "assert the health verdict: healthy after a clean run, breaching (with a journaled slo_burn) after a driven error storm")
 	flag.Parse()
 
 	if err := cfg.validate(); err != nil {
@@ -117,6 +118,7 @@ type config struct {
 
 	injectErrors int
 	checkFlight  bool
+	checkHealth  bool
 }
 
 func (c *config) validate() error {
@@ -216,6 +218,9 @@ func run(cfg *config) error {
 
 	elapsed := r.drive()
 	sum := r.summarize(elapsed)
+	if h, err := r.fetchHealth(); err == nil {
+		sum.HistoryTicks = h.History.Ticks
+	}
 	out := fmt.Sprintf("BENCH_%s.json", cfg.name)
 	if err := writeSummary(out, sum); err != nil {
 		return err
@@ -251,6 +256,13 @@ func run(cfg *config) error {
 			return err
 		}
 	}
+	if cfg.checkHealth {
+		// Last of all: the health phase ends with the verdict deliberately
+		// breaching, which would invalidate any check that ran after it.
+		if err := r.healthPhase(); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -265,6 +277,9 @@ func selfHost(cfg *config) (string, func(), error) {
 		Queue:          cfg.serverQueue,
 		CPUSlots:       cfg.serverSlots,
 		MaxParallelism: 4,
+		// A fast sampler tick so -check-health flips within seconds and
+		// BENCH summaries always carry a non-zero history tick count.
+		HistoryInterval: time.Second,
 	})
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -379,6 +394,11 @@ type loadSummary struct {
 	Latency map[string]latencySummary `json:"latency_ns"`
 
 	Verify verifySummary `json:"verify"`
+
+	// HistoryTicks is the server's telemetry-history tick count at the end
+	// of the run — the load gate's liveness guard for the sampler (absent
+	// when the target runs with history disabled).
+	HistoryTicks uint64 `json:"history_ticks,omitempty"`
 
 	// FlightEvidence is the raw /v1/debug:flight response (errors plus the
 	// slow tail) embedded when the run fails its verdict; absent otherwise.

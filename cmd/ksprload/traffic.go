@@ -551,6 +551,17 @@ func (c *collector) record(class string, elapsed time.Duration, err error) {
 	}
 }
 
+// totalRequests is the number of requests the timed phase recorded.
+func (c *collector) totalRequests() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var n uint64
+	for _, l := range c.lat {
+		n += uint64(len(l))
+	}
+	return n
+}
+
 func (c *collector) errExamples() []string {
 	c.mu.Lock()
 	defer c.mu.Unlock()

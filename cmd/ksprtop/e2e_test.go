@@ -1,0 +1,74 @@
+package main
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/server"
+)
+
+// TestPollAgainstLiveServer drives the ksprtop client against a
+// self-hosted serving stack and renders a real frame end to end.
+func TestPollAgainstLiveServer(t *testing.T) {
+	srv := server.NewServer(server.Config{})
+	hs := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() { hs.Close(); srv.Close() })
+
+	// Real traffic so the history has non-trivial series.
+	for i := 0; i < 10; i++ {
+		resp, err := http.Get(hs.URL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+
+	cl := client{
+		base:   hs.URL,
+		window: 15 * time.Minute,
+		http:   &http.Client{Timeout: 5 * time.Second},
+	}
+	h, hist, err := cl.poll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !h.Healthy {
+		t.Fatalf("fresh server unhealthy: %+v", h)
+	}
+	if hist.Samples < 1 {
+		t.Fatalf("history has no samples: %+v", hist)
+	}
+	frame := renderer{width: 100, color: false}.frame(cl.base, h, hist)
+	for _, want := range []string{"ksprtop", "HEALTHY", "availability", "qps"} {
+		if !strings.Contains(frame, want) {
+			t.Errorf("live frame missing %q:\n%s", want, frame)
+		}
+	}
+
+	// Series override narrows the plot to the requested columns.
+	cl.series = "goroutines"
+	_, hist, err = cl.poll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := hist.Series["goroutines"]; !ok || len(hist.Series) != 1 {
+		t.Fatalf("series override ignored: %v", hist.Series)
+	}
+}
+
+// TestPollDisabledHistory reports a useful error when the server runs
+// without the sampler.
+func TestPollDisabledHistory(t *testing.T) {
+	srv := server.NewServer(server.Config{HistoryInterval: -1})
+	hs := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() { hs.Close(); srv.Close() })
+
+	cl := client{base: hs.URL, window: time.Minute, http: &http.Client{Timeout: 5 * time.Second}}
+	_, _, err := cl.poll()
+	if err == nil || !strings.Contains(err.Error(), "404") {
+		t.Fatalf("err = %v, want HTTP 404", err)
+	}
+}

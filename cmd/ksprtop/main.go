@@ -1,0 +1,126 @@
+// Command ksprtop is a live terminal dashboard for a running ksprd: it
+// polls GET /v1/debug:health and GET /v1/debug:history and renders the
+// health verdict, per-SLO burn rates, and block-ramp sparklines of the
+// headline telemetry series — no TUI dependency, just ANSI escapes.
+//
+//	ksprtop                                  # watch 127.0.0.1:8080
+//	ksprtop -addr http://host:8080 -window 30m
+//	ksprtop -once                            # one frame, plain text, exit
+//
+// The exit status of -once is 0 when the verdict is healthy and 1 when
+// any SLO is breaching, so it doubles as a scriptable health probe.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "http://127.0.0.1:8080", "base URL of the ksprd to watch")
+		interval = flag.Duration("interval", 2*time.Second, "refresh interval")
+		window   = flag.Duration("window", 15*time.Minute, "history window to plot")
+		width    = flag.Int("width", 100, "frame width in columns")
+		series   = flag.String("series", "", "comma-separated series override (default: the server's headline set)")
+		once     = flag.Bool("once", false, "render a single plain-text frame and exit (exit 1 when unhealthy)")
+	)
+	flag.Parse()
+	if *interval <= 0 || *window <= 0 || *width < 40 {
+		fmt.Fprintln(os.Stderr, "ksprtop: need -interval > 0, -window > 0, -width >= 40")
+		os.Exit(2)
+	}
+
+	cl := client{
+		base:   strings.TrimRight(*addr, "/"),
+		window: *window,
+		series: *series,
+		http:   &http.Client{Timeout: 10 * time.Second},
+	}
+	r := renderer{width: *width, color: !*once}
+
+	if *once {
+		h, hist, err := cl.poll()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ksprtop:", err)
+			os.Exit(1)
+		}
+		fmt.Print(r.frame(cl.base, h, hist))
+		if !h.Healthy {
+			os.Exit(1)
+		}
+		return
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	ticker := time.NewTicker(*interval)
+	defer ticker.Stop()
+	for {
+		h, hist, err := cl.poll()
+		// Clear screen + home between frames; errors render in-place so a
+		// restarting server doesn't kill the watch.
+		fmt.Print("\x1b[2J\x1b[H")
+		if err != nil {
+			fmt.Printf("ksprtop %s: %v (retrying every %s)\n", cl.base, err, *interval)
+		} else {
+			fmt.Print(r.frame(cl.base, h, hist))
+		}
+		select {
+		case <-sig:
+			fmt.Println()
+			return
+		case <-ticker.C:
+		}
+	}
+}
+
+// client fetches the two debug payloads ksprtop renders.
+type client struct {
+	base   string
+	window time.Duration
+	series string
+	http   *http.Client
+}
+
+// poll fetches health and history in sequence (health first: when it
+// 404s the server has history disabled and there is nothing to watch).
+func (c client) poll() (*healthWire, *historyWire, error) {
+	var h healthWire
+	if err := c.getJSON("/v1/debug:health", &h); err != nil {
+		return nil, nil, err
+	}
+	hq := fmt.Sprintf("/v1/debug:history?since_sec=%g", c.window.Seconds())
+	if c.series != "" {
+		hq += "&series=" + c.series
+	}
+	var hist historyWire
+	if err := c.getJSON(hq, &hist); err != nil {
+		return nil, nil, err
+	}
+	return &h, &hist, nil
+}
+
+// getJSON fetches one endpoint and decodes the body, surfacing non-200s
+// with their body text (the server's error payloads are short JSON).
+func (c client) getJSON(path string, out any) error {
+	resp, err := c.http.Get(c.base + path)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var msg strings.Builder
+		_ = json.NewDecoder(resp.Body).Decode(&struct{}{}) // drain politely
+		fmt.Fprintf(&msg, "%s: HTTP %d", path, resp.StatusCode)
+		return fmt.Errorf("%s", msg.String())
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}

@@ -1,0 +1,286 @@
+package main
+
+// render.go is the pure half of ksprtop: everything that turns the two
+// debug payloads into a terminal frame lives here, side-effect free, so
+// the rendering is unit-testable without a server or a TTY.
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"time"
+)
+
+// sparkGlyphs is the eight-level block ramp sparklines are drawn with.
+var sparkGlyphs = []rune("▁▂▃▄▅▆▇█")
+
+// ansi escape fragments; disabled wholesale when color is off.
+const (
+	ansiReset  = "\x1b[0m"
+	ansiGreen  = "\x1b[32m"
+	ansiYellow = "\x1b[33m"
+	ansiRed    = "\x1b[31m"
+	ansiDim    = "\x1b[2m"
+	ansiBold   = "\x1b[1m"
+)
+
+// healthWire mirrors the GET /v1/debug:health payload (the fields ksprtop
+// renders; extra fields are ignored on decode).
+type healthWire struct {
+	Healthy       bool      `json:"healthy"`
+	Score         float64   `json:"score"`
+	Status        string    `json:"status"`
+	SLOs          []sloWire `json:"slos"`
+	Ready         bool      `json:"ready"`
+	Datasets      int       `json:"datasets"`
+	Generation    uint64    `json:"generation"`
+	UptimeSeconds float64   `json:"uptime_seconds"`
+	Build         buildWire `json:"build"`
+}
+
+// buildWire is the binary-identity block inside the health payload.
+type buildWire struct {
+	Version string `json:"version"`
+	Go      string `json:"go"`
+}
+
+// sloWire is one objective's status row.
+type sloWire struct {
+	Name      string     `json:"name"`
+	Breaching bool       `json:"breaching"`
+	Score     float64    `json:"score"`
+	Windows   []burnWire `json:"windows"`
+}
+
+// burnWire is one evaluated burn-rate window pair.
+type burnWire struct {
+	ShortMs   float64 `json:"short_ms"`
+	LongMs    float64 `json:"long_ms"`
+	Threshold float64 `json:"threshold"`
+	BurnShort float64 `json:"burn_short"`
+	BurnLong  float64 `json:"burn_long"`
+	Breaching bool    `json:"breaching"`
+}
+
+// historyWire mirrors the GET /v1/debug:history payload.
+type historyWire struct {
+	IntervalMs  float64               `json:"interval_ms"`
+	Samples     int                   `json:"samples"`
+	TimesUnixMs []int64               `json:"times_unix_ms"`
+	Series      map[string][]*float64 `json:"series"`
+}
+
+// sparkline draws vals as a fixed-width block-ramp strip. The series is
+// resampled to width columns (last value per column); NaNs (missed ticks)
+// render as spaces. A flat series draws at the lowest level so noise
+// floors stay visually quiet.
+func sparkline(vals []float64, width int) string {
+	if width <= 0 || len(vals) == 0 {
+		return strings.Repeat(" ", max(width, 0))
+	}
+	cols := resample(vals, width)
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range cols {
+		if math.IsNaN(v) {
+			continue
+		}
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	var sb strings.Builder
+	for _, v := range cols {
+		switch {
+		case math.IsNaN(v):
+			sb.WriteByte(' ')
+		case hi <= lo:
+			sb.WriteRune(sparkGlyphs[0])
+		default:
+			idx := int((v - lo) / (hi - lo) * float64(len(sparkGlyphs)-1))
+			if idx < 0 {
+				idx = 0
+			}
+			if idx >= len(sparkGlyphs) {
+				idx = len(sparkGlyphs) - 1
+			}
+			sb.WriteRune(sparkGlyphs[idx])
+		}
+	}
+	return sb.String()
+}
+
+// resample squeezes or stretches vals to exactly width columns, keeping
+// the last value of each source bucket (matching the server's step
+// downsampling semantics).
+func resample(vals []float64, width int) []float64 {
+	out := make([]float64, width)
+	for i := range out {
+		out[i] = math.NaN()
+	}
+	if len(vals) <= width {
+		// Right-align short series so "now" is always the last column.
+		off := width - len(vals)
+		copy(out[off:], vals)
+		return out
+	}
+	for i, v := range vals {
+		col := i * width / len(vals)
+		if !math.IsNaN(v) {
+			out[col] = v
+		}
+	}
+	return out
+}
+
+// column converts one nullable series column into NaN-gapped floats.
+func column(col []*float64) []float64 {
+	out := make([]float64, len(col))
+	for i, p := range col {
+		if p == nil {
+			out[i] = math.NaN()
+		} else {
+			out[i] = *p
+		}
+	}
+	return out
+}
+
+// fmtValue renders a sample compactly: SI-ish suffixes above 10k, short
+// decimals below.
+func fmtValue(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "-"
+	case math.Abs(v) >= 1e9:
+		return fmt.Sprintf("%.2fG", v/1e9)
+	case math.Abs(v) >= 1e6:
+		return fmt.Sprintf("%.2fM", v/1e6)
+	case math.Abs(v) >= 1e4:
+		return fmt.Sprintf("%.1fk", v/1e3)
+	case math.Abs(v) >= 100:
+		return fmt.Sprintf("%.0f", v)
+	case v == math.Trunc(v) && math.Abs(v) < 100:
+		return fmt.Sprintf("%.0f", v)
+	default:
+		return fmt.Sprintf("%.3g", v)
+	}
+}
+
+// fmtDuration renders an uptime without sub-second noise.
+func fmtDuration(d time.Duration) string {
+	d = d.Round(time.Second)
+	if d >= time.Hour {
+		return fmt.Sprintf("%dh%02dm", int(d.Hours()), int(d.Minutes())%60)
+	}
+	if d >= time.Minute {
+		return fmt.Sprintf("%dm%02ds", int(d.Minutes()), int(d.Seconds())%60)
+	}
+	return d.String()
+}
+
+// fmtWindow renders a burn window length ("5m", "6h") from milliseconds.
+func fmtWindow(ms float64) string {
+	d := time.Duration(ms) * time.Millisecond
+	if d >= time.Hour {
+		return fmt.Sprintf("%gh", d.Hours())
+	}
+	return fmt.Sprintf("%gm", d.Minutes())
+}
+
+// renderer holds frame-level options; color off strips every ANSI code so
+// -once output is pipe-clean.
+type renderer struct {
+	width int
+	color bool
+}
+
+// paint wraps s in an ANSI code when color is on.
+func (r renderer) paint(code, s string) string {
+	if !r.color {
+		return s
+	}
+	return code + s + ansiReset
+}
+
+// statusBadge renders the verdict word in its traffic-light color.
+func (r renderer) statusBadge(h *healthWire) string {
+	switch h.Status {
+	case "healthy":
+		return r.paint(ansiGreen+ansiBold, "HEALTHY")
+	case "burning":
+		return r.paint(ansiYellow+ansiBold, "BURNING")
+	default:
+		return r.paint(ansiRed+ansiBold, strings.ToUpper(h.Status))
+	}
+}
+
+// frame renders one full dashboard frame from the two payloads.
+func (r renderer) frame(addr string, h *healthWire, hist *historyWire) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s  %s  score %.3f  up %s  gen %d  datasets %d  %s %s\n",
+		r.paint(ansiBold, "ksprtop"), addr,
+		h.Score, fmtDuration(time.Duration(h.UptimeSeconds*float64(time.Second))),
+		h.Generation, h.Datasets, h.Build.Version, r.statusBadge(h))
+	if !h.Ready {
+		sb.WriteString(r.paint(ansiYellow, "  NOT READY (WAL recovery in progress)") + "\n")
+	}
+
+	// SLO table: one row per objective, fast pair's burns up front.
+	sb.WriteString(r.paint(ansiDim, strings.Repeat("─", r.width)) + "\n")
+	for _, slo := range h.SLOs {
+		badge := r.paint(ansiGreen, "ok ")
+		if slo.Breaching {
+			badge = r.paint(ansiRed, "BRN")
+		}
+		row := fmt.Sprintf("  %s %-22s score %.3f", badge, slo.Name, slo.Score)
+		for _, w := range slo.Windows {
+			row += fmt.Sprintf("  %s/%s %s/%s (thr %g)",
+				fmtWindow(w.ShortMs), fmtWindow(w.LongMs),
+				fmtValue(w.BurnShort), fmtValue(w.BurnLong), w.Threshold)
+		}
+		sb.WriteString(row + "\n")
+	}
+	if len(h.SLOs) == 0 {
+		sb.WriteString(r.paint(ansiDim, "  (no SLOs configured)") + "\n")
+	}
+
+	// Sparkline block: stable alphabetical order so rows don't jump
+	// between frames.
+	sb.WriteString(r.paint(ansiDim, strings.Repeat("─", r.width)) + "\n")
+	names := make([]string, 0, len(hist.Series))
+	for name := range hist.Series {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	sparkWidth := r.width - 34
+	if sparkWidth < 10 {
+		sparkWidth = 10
+	}
+	for _, name := range names {
+		vals := column(hist.Series[name])
+		last := math.NaN()
+		for i := len(vals) - 1; i >= 0; i-- {
+			if !math.IsNaN(vals[i]) {
+				last = vals[i]
+				break
+			}
+		}
+		fmt.Fprintf(&sb, "  %-20s %9s %s\n", name, fmtValue(last), sparkline(vals, sparkWidth))
+	}
+	if span := historySpan(hist); span > 0 {
+		fmt.Fprintf(&sb, "%s\n", r.paint(ansiDim,
+			fmt.Sprintf("  %d samples over %s, every %s", hist.Samples,
+				fmtDuration(span), fmtDuration(time.Duration(hist.IntervalMs)*time.Millisecond))))
+	}
+	return sb.String()
+}
+
+// historySpan is the wall-clock distance covered by the returned ticks.
+func historySpan(hist *historyWire) time.Duration {
+	if len(hist.TimesUnixMs) < 2 {
+		return 0
+	}
+	first := hist.TimesUnixMs[0]
+	last := hist.TimesUnixMs[len(hist.TimesUnixMs)-1]
+	return time.Duration(last-first) * time.Millisecond
+}

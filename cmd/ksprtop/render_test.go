@@ -1,0 +1,152 @@
+package main
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func fptr(v float64) *float64 { return &v }
+
+func TestSparklineShapes(t *testing.T) {
+	// Monotone ramp uses the lowest and highest glyphs at the ends.
+	s := sparkline([]float64{0, 1, 2, 3, 4, 5, 6, 7}, 8)
+	if [](rune)([]rune(s))[0] != sparkGlyphs[0] {
+		t.Fatalf("ramp start = %q, want %q", s, string(sparkGlyphs[0]))
+	}
+	if r := []rune(s); r[len(r)-1] != sparkGlyphs[len(sparkGlyphs)-1] {
+		t.Fatalf("ramp end = %q", s)
+	}
+	// Flat series stays at the floor glyph.
+	flat := sparkline([]float64{5, 5, 5, 5}, 4)
+	if flat != strings.Repeat(string(sparkGlyphs[0]), 4) {
+		t.Fatalf("flat = %q", flat)
+	}
+	// NaN gaps render as spaces.
+	gap := sparkline([]float64{1, math.NaN(), 3}, 3)
+	if []rune(gap)[1] != ' ' {
+		t.Fatalf("gap = %q, want space in the middle", gap)
+	}
+	// Short series right-align so "now" is the last column.
+	short := sparkline([]float64{1, 8}, 6)
+	r := []rune(short)
+	if r[0] != ' ' || r[5] != sparkGlyphs[len(sparkGlyphs)-1] {
+		t.Fatalf("short = %q, want right-aligned", short)
+	}
+	// Empty and zero-width are safe.
+	if got := sparkline(nil, 4); got != "    " {
+		t.Fatalf("empty = %q", got)
+	}
+	if got := sparkline([]float64{1}, 0); got != "" {
+		t.Fatalf("zero width = %q", got)
+	}
+}
+
+func TestResampleKeepsLastPerColumn(t *testing.T) {
+	// 6 values into 3 columns: the last value of each pair survives.
+	got := resample([]float64{1, 2, 3, 4, 5, 6}, 3)
+	want := []float64{2, 4, 6}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("resample = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestFmtValue(t *testing.T) {
+	cases := map[float64]string{
+		0:       "0",
+		3:       "3",
+		250:     "250",
+		15000:   "15.0k",
+		2500000: "2.50M",
+		3.5e9:   "3.50G",
+		0.123:   "0.123",
+	}
+	for in, want := range cases {
+		if got := fmtValue(in); got != want {
+			t.Errorf("fmtValue(%v) = %q, want %q", in, got, want)
+		}
+	}
+	if got := fmtValue(math.NaN()); got != "-" {
+		t.Errorf("fmtValue(NaN) = %q", got)
+	}
+}
+
+func TestFmtDurationAndWindow(t *testing.T) {
+	if got := fmtDuration(90 * time.Second); got != "1m30s" {
+		t.Errorf("fmtDuration(90s) = %q", got)
+	}
+	if got := fmtDuration(3*time.Hour + 5*time.Minute); got != "3h05m" {
+		t.Errorf("fmtDuration(3h5m) = %q", got)
+	}
+	if got := fmtWindow(5 * 60 * 1000); got != "5m" {
+		t.Errorf("fmtWindow(5m) = %q", got)
+	}
+	if got := fmtWindow(6 * 3600 * 1000); got != "6h" {
+		t.Errorf("fmtWindow(6h) = %q", got)
+	}
+}
+
+func TestFrameRendersVerdictAndSeries(t *testing.T) {
+	h := &healthWire{
+		Healthy:       false,
+		Score:         0.25,
+		Status:        "breaching",
+		Ready:         true,
+		Datasets:      2,
+		Generation:    7,
+		UptimeSeconds: 125,
+		Build:         buildWire{Version: "abc123", Go: "go1.24"},
+		SLOs: []sloWire{{
+			Name:      "availability",
+			Breaching: true,
+			Score:     0.25,
+			Windows: []burnWire{{
+				ShortMs: 300000, LongMs: 3600000, Threshold: 14.4,
+				BurnShort: 30, BurnLong: 20, Breaching: true,
+			}},
+		}},
+	}
+	hist := &historyWire{
+		IntervalMs:  1000,
+		Samples:     3,
+		TimesUnixMs: []int64{1000, 2000, 3000},
+		Series: map[string][]*float64{
+			"qps":        {fptr(10), fptr(20), fptr(30)},
+			"error_rate": {nil, fptr(0.5), fptr(1)},
+		},
+	}
+	r := renderer{width: 90, color: false}
+	frame := r.frame("http://x:1", h, hist)
+	for _, want := range []string{
+		"BREACHING", "score 0.250", "gen 7", "datasets 2", "abc123",
+		"availability", "5m/1h", // SLO row window labels
+		"BRN", "30/20",
+		"qps", "error_rate",
+		"3 samples",
+	} {
+		if !strings.Contains(frame, want) {
+			t.Errorf("frame missing %q:\n%s", want, frame)
+		}
+	}
+	if strings.Contains(frame, "\x1b[") {
+		t.Fatal("color=false frame contains ANSI escapes")
+	}
+
+	// Healthy + colored frame flips the badge and paints it.
+	h.Healthy, h.Status, h.SLOs[0].Breaching = true, "healthy", false
+	colored := renderer{width: 90, color: true}.frame("http://x:1", h, hist)
+	if !strings.Contains(colored, "HEALTHY") || !strings.Contains(colored, ansiGreen) {
+		t.Fatalf("healthy colored frame wrong:\n%s", colored)
+	}
+}
+
+func TestFrameEmptySLOs(t *testing.T) {
+	r := renderer{width: 80, color: false}
+	frame := r.frame("a", &healthWire{Status: "healthy", Healthy: true}, &historyWire{})
+	if !strings.Contains(frame, "no SLOs configured") {
+		t.Fatalf("empty-SLO frame: %q", frame)
+	}
+}

@@ -77,6 +77,21 @@ func (h *Histogram) Snapshot() HistSnapshot {
 	return s
 }
 
+// CopyCounts copies the per-bucket counts into dst without allocating,
+// returning how many buckets were copied (min of len(dst) and the bucket
+// count, bounds plus the +Inf bucket). The sampler's alternative to
+// Snapshot.
+func (h *Histogram) CopyCounts(dst []uint64) int {
+	n := len(h.counts)
+	if n > len(dst) {
+		n = len(dst)
+	}
+	for i := 0; i < n; i++ {
+		dst[i] = h.counts[i].Load()
+	}
+	return n
+}
+
 // HistSnapshot is an immutable copy of a Histogram, suitable for
 // quantile estimation and exposition without holding up writers.
 type HistSnapshot struct {

@@ -30,6 +30,11 @@ const (
 	EventCPUBudgetExhausted = "cpu_budget_exhausted"
 	// EventBlackBox records a black-box bundle write (panic/SIGQUIT).
 	EventBlackBox = "black_box"
+	// EventSLOBurn / EventSLOResolve record an SLO starting and stopping
+	// an active burn-rate breach, tagged with the dataset generation in
+	// force so the breach joins against captured flight evidence.
+	EventSLOBurn    = "slo_burn"
+	EventSLOResolve = "slo_resolved"
 )
 
 // JournalEvent is one server lifecycle event. Seq is a journal-wide

@@ -1,0 +1,282 @@
+package obs
+
+import (
+	"fmt"
+	"time"
+)
+
+// Objective kinds understood by the SLO engine.
+const (
+	// SLOAvailability measures the fraction of non-429 failed requests.
+	SLOAvailability = "availability"
+	// SLOLatency measures the fraction of recent windows whose class p99
+	// exceeded the objective's bound.
+	SLOLatency = "latency"
+)
+
+// Objective is one declarative service-level objective. Target is the
+// good-fraction goal in (0,1) — e.g. 0.999 availability means an error
+// budget of 0.1%. For latency objectives Bound is the p99 ceiling and
+// Class names the endpoint class ("query", "mutate") whose latency series
+// the evaluator should consult.
+type Objective struct {
+	Name   string
+	Kind   string
+	Target float64
+	Bound  time.Duration
+	Class  string
+}
+
+// Budget returns the objective's error budget (1 - Target).
+func (o Objective) Budget() float64 { return 1 - o.Target }
+
+// BurnWindow is one multi-window burn-rate alerting pair, Google-SRE
+// style: a breach requires BOTH the short and the long window to burn the
+// error budget faster than Threshold. The short window makes the alert
+// reset quickly once the incident ends; the long window keeps a brief
+// blip from paging.
+type BurnWindow struct {
+	Short     time.Duration
+	Long      time.Duration
+	Threshold float64
+}
+
+// DefaultBurnWindows is the standard fast + slow multi-window pair: the
+// fast pair (5m/1h at 14.4x) catches budget-torching incidents in
+// minutes, the slow pair (30m/6h at 6x) catches sustained simmering
+// burn. At 14.4x a 99.9% objective's monthly budget lasts ~2 days; at 6x,
+// ~5 days.
+var DefaultBurnWindows = []BurnWindow{
+	{Short: 5 * time.Minute, Long: time.Hour, Threshold: 14.4},
+	{Short: 30 * time.Minute, Long: 6 * time.Hour, Threshold: 6},
+}
+
+// BadFractionFunc reports the fraction of "bad" service over the trailing
+// window ending at now for one objective — (0.002, true) means 0.2% of
+// requests failed, or 0.2% of latency samples exceeded the bound.
+// ok=false means not enough data to judge the window (treated as zero
+// burn: absence of evidence never pages).
+type BadFractionFunc func(o Objective, window time.Duration, now time.Time) (bad float64, ok bool)
+
+// WindowBurn is one evaluated burn-rate pair of an SLOStatus. The window
+// lengths ride internally as durations and on the wire as millisecond
+// floats (time.Duration would marshal as opaque nanoseconds).
+type WindowBurn struct {
+	Short     time.Duration `json:"-"`
+	Long      time.Duration `json:"-"`
+	ShortMs   float64       `json:"short_ms"`
+	LongMs    float64       `json:"long_ms"`
+	Threshold float64       `json:"threshold"`
+	BurnShort float64       `json:"burn_short"`
+	BurnLong  float64       `json:"burn_long"`
+	Breaching bool          `json:"breaching"`
+}
+
+// SLOStatus is one objective's evaluated state: burn rates per window
+// pair, whether any pair breaches, and a health score in [0,1] (1 = no
+// burn, 0 = breaching at threshold or beyond).
+type SLOStatus struct {
+	Name      string       `json:"name"`
+	Kind      string       `json:"kind"`
+	Target    float64      `json:"target"`
+	BoundMs   float64      `json:"bound_ms,omitempty"`
+	Class     string       `json:"class,omitempty"`
+	Windows   []WindowBurn `json:"windows"`
+	Breaching bool         `json:"breaching"`
+	Score     float64      `json:"score"`
+}
+
+// BreachEvent is an SLO state transition the engine wants journaled: a
+// pair started breaching (Resolved=false) or every pair of a previously
+// breaching objective recovered (Resolved=true).
+type BreachEvent struct {
+	Objective Objective
+	Window    BurnWindow
+	BurnShort float64
+	BurnLong  float64
+	Resolved  bool
+}
+
+// SLOEngine evaluates a fixed set of objectives against burn windows.
+// Evaluation is pure over an injected BadFractionFunc so tests can pin the
+// math with hand-computed fixtures; the engine itself only tracks breach
+// state across evaluations (for start/resolve transition events). Not
+// safe for concurrent Evaluate calls — the server evaluates from its
+// single sampler goroutine. Nil-safe (no objectives, never breaching).
+type SLOEngine struct {
+	objectives []Objective
+	windows    []BurnWindow
+	active     map[string]bool // objective name -> currently breaching
+	last       []SLOStatus
+}
+
+// NewSLOEngine builds an engine over the given objectives; nil windows
+// selects DefaultBurnWindows.
+func NewSLOEngine(objectives []Objective, windows []BurnWindow) *SLOEngine {
+	if windows == nil {
+		windows = DefaultBurnWindows
+	}
+	return &SLOEngine{
+		objectives: objectives,
+		windows:    windows,
+		active:     map[string]bool{},
+	}
+}
+
+// Objectives returns the engine's objective set (nil on nil).
+func (e *SLOEngine) Objectives() []Objective {
+	if e == nil {
+		return nil
+	}
+	return e.objectives
+}
+
+// Evaluate computes every objective's burn rates at now using bad, returns
+// the statuses plus any breach-state transitions since the previous
+// Evaluate call. Burn rate = bad fraction / error budget; a window pair
+// breaches when BOTH its windows burn at or above the pair's threshold.
+func (e *SLOEngine) Evaluate(now time.Time, bad BadFractionFunc) ([]SLOStatus, []BreachEvent) {
+	if e == nil {
+		return nil, nil
+	}
+	statuses := make([]SLOStatus, 0, len(e.objectives))
+	var events []BreachEvent
+	for _, o := range e.objectives {
+		st := SLOStatus{
+			Name:   o.Name,
+			Kind:   o.Kind,
+			Target: o.Target,
+			Class:  o.Class,
+			Score:  1,
+		}
+		if o.Bound > 0 {
+			st.BoundMs = float64(o.Bound) / float64(time.Millisecond)
+		}
+		budget := o.Budget()
+		var breachPair WindowBurn
+		for _, w := range e.windows {
+			wb := WindowBurn{
+				Short: w.Short, Long: w.Long,
+				ShortMs:   float64(w.Short) / float64(time.Millisecond),
+				LongMs:    float64(w.Long) / float64(time.Millisecond),
+				Threshold: w.Threshold,
+			}
+			wb.BurnShort = burnRate(o, w.Short, now, bad, budget)
+			wb.BurnLong = burnRate(o, w.Long, now, bad, budget)
+			wb.Breaching = wb.BurnShort >= w.Threshold && wb.BurnLong >= w.Threshold
+			// The pair's effective burn is the smaller of its two windows
+			// (both must exceed the threshold to matter), normalized by the
+			// threshold so fast and slow pairs score on the same scale.
+			norm := min(wb.BurnShort, wb.BurnLong) / w.Threshold
+			if pairScore := 1 - norm; pairScore < st.Score {
+				st.Score = pairScore
+			}
+			if wb.Breaching && !st.Breaching {
+				st.Breaching = true
+				breachPair = wb
+			}
+			st.Windows = append(st.Windows, wb)
+		}
+		if st.Score < 0 {
+			st.Score = 0
+		}
+		was := e.active[o.Name]
+		if st.Breaching && !was {
+			events = append(events, BreachEvent{
+				Objective: o,
+				Window:    BurnWindow{Short: breachPair.Short, Long: breachPair.Long, Threshold: breachPair.Threshold},
+				BurnShort: breachPair.BurnShort,
+				BurnLong:  breachPair.BurnLong,
+			})
+		}
+		if !st.Breaching && was {
+			events = append(events, BreachEvent{Objective: o, Resolved: true})
+		}
+		e.active[o.Name] = st.Breaching
+		statuses = append(statuses, st)
+	}
+	e.last = statuses
+	return statuses, events
+}
+
+// Latest returns the statuses from the most recent Evaluate (nil before
+// the first evaluation or on nil).
+func (e *SLOEngine) Latest() []SLOStatus {
+	if e == nil {
+		return nil
+	}
+	return e.last
+}
+
+// burnRate is bad/budget over one window; windows without enough data burn
+// at zero.
+func burnRate(o Objective, window time.Duration, now time.Time, bad BadFractionFunc, budget float64) float64 {
+	if budget <= 0 {
+		return 0
+	}
+	frac, ok := bad(o, window, now)
+	if !ok || frac <= 0 {
+		return 0
+	}
+	return frac / budget
+}
+
+// HealthVerdict rolls a set of SLO statuses into the single machine-
+// readable fact a replica router scores nodes by.
+type HealthVerdict struct {
+	Healthy bool        `json:"healthy"`
+	Score   float64     `json:"score"`
+	Status  string      `json:"status"`
+	SLOs    []SLOStatus `json:"slos"`
+}
+
+// Verdict reduces statuses to an overall verdict: score is the minimum
+// per-objective score (a node is as healthy as its sickest SLO), healthy
+// means no objective is actively breaching. No statuses (engine off or
+// warming up) verdicts healthy at score 1.
+func Verdict(statuses []SLOStatus) HealthVerdict {
+	v := HealthVerdict{Healthy: true, Score: 1, Status: "healthy"}
+	for _, st := range statuses {
+		if st.Score < v.Score {
+			v.Score = st.Score
+		}
+		if st.Breaching {
+			v.Healthy = false
+		}
+	}
+	if !v.Healthy {
+		v.Status = "breaching"
+	} else if v.Score < 1 {
+		v.Status = "burning"
+	}
+	v.SLOs = statuses
+	return v
+}
+
+// DefaultObjectives builds the stock objective set: availability at the
+// given target across all endpoints, plus a p99 latency objective per
+// endpoint class at the given bound (the latency target fixes the allowed
+// over-bound fraction at 0.1%). Bound <= 0 skips latency objectives;
+// availability target <= 0 skips the availability objective.
+func DefaultObjectives(availTarget float64, p99Bound time.Duration, classes []string) []Objective {
+	var objs []Objective
+	if availTarget > 0 && availTarget < 1 {
+		objs = append(objs, Objective{
+			Name:   "availability",
+			Kind:   SLOAvailability,
+			Target: availTarget,
+		})
+	}
+	if p99Bound > 0 {
+		for _, class := range classes {
+			objs = append(objs, Objective{
+				Name:   fmt.Sprintf("latency-p99-%s", class),
+				Kind:   SLOLatency,
+				Target: 0.999,
+				Bound:  p99Bound,
+				Class:  class,
+			})
+		}
+	}
+	return objs
+}

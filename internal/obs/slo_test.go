@@ -1,0 +1,223 @@
+package obs
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// fixedBad returns a BadFractionFunc serving hand-built fixtures keyed by
+// objective name and window.
+func fixedBad(m map[string]map[time.Duration]float64) BadFractionFunc {
+	return func(o Objective, window time.Duration, _ time.Time) (float64, bool) {
+		byWin, ok := m[o.Name]
+		if !ok {
+			return 0, false
+		}
+		frac, ok := byWin[window]
+		return frac, ok
+	}
+}
+
+func availObjective() Objective {
+	return Objective{Name: "availability", Kind: SLOAvailability, Target: 0.999}
+}
+
+func TestSLOBurnRateMath(t *testing.T) {
+	// Hand-computed fixture: 99.9% target → budget 0.001.
+	// 5m window bad=0.03 → burn 30; 1h bad=0.02 → burn 20 (both above the
+	// fast threshold 14.4 → breaching). Slow pair stays under: 30m
+	// bad=0.003 → burn 3, 6h bad=0.001 → burn 1.
+	eng := NewSLOEngine([]Objective{availObjective()}, nil)
+	bad := fixedBad(map[string]map[time.Duration]float64{
+		"availability": {
+			5 * time.Minute:  0.03,
+			time.Hour:        0.02,
+			30 * time.Minute: 0.003,
+			6 * time.Hour:    0.001,
+		},
+	})
+	statuses, events := eng.Evaluate(t0, bad)
+	if len(statuses) != 1 {
+		t.Fatalf("got %d statuses", len(statuses))
+	}
+	st := statuses[0]
+	if !st.Breaching {
+		t.Fatal("fast pair above threshold must breach")
+	}
+	fast, slow := st.Windows[0], st.Windows[1]
+	if math.Abs(fast.BurnShort-30) > 1e-9 || math.Abs(fast.BurnLong-20) > 1e-9 {
+		t.Fatalf("fast burns = %v/%v, want 30/20", fast.BurnShort, fast.BurnLong)
+	}
+	if !fast.Breaching || slow.Breaching {
+		t.Fatalf("breaching flags fast=%v slow=%v, want true/false", fast.Breaching, slow.Breaching)
+	}
+	if math.Abs(slow.BurnShort-3) > 1e-9 || math.Abs(slow.BurnLong-1) > 1e-9 {
+		t.Fatalf("slow burns = %v/%v, want 3/1", slow.BurnShort, slow.BurnLong)
+	}
+	// Score: fast pair norm = min(28.8,14.4)/14.4 = 1 → score 0.
+	if st.Score != 0 {
+		t.Fatalf("score = %v, want 0", st.Score)
+	}
+	if len(events) != 1 || events[0].Resolved {
+		t.Fatalf("events = %+v, want one breach start", events)
+	}
+	if events[0].Window.Short != 5*time.Minute || events[0].BurnShort != fast.BurnShort {
+		t.Fatalf("breach event pair = %+v, want the fast pair", events[0])
+	}
+}
+
+func TestSLOOneWindowIsNotABreach(t *testing.T) {
+	// Burning hot in the short window but cold in the long one: a blip,
+	// not a breach (the long window hasn't confirmed it).
+	eng := NewSLOEngine([]Objective{availObjective()}, nil)
+	bad := fixedBad(map[string]map[time.Duration]float64{
+		"availability": {
+			5 * time.Minute: 0.5,   // burn 500
+			time.Hour:       0.001, // burn 1
+		},
+	})
+	statuses, events := eng.Evaluate(t0, bad)
+	st := statuses[0]
+	if st.Breaching {
+		t.Fatal("short-window-only burn must not breach")
+	}
+	if len(events) != 0 {
+		t.Fatalf("unexpected events %+v", events)
+	}
+	// Score reflects the confirmed (min) burn: min(500,1)/14.4 ≈ 0.0694 →
+	// score ≈ 0.9306 from the fast pair; slow pair contributes nothing.
+	want := 1 - 1.0/14.4
+	if math.Abs(st.Score-want) > 1e-9 {
+		t.Fatalf("score = %v, want %v", st.Score, want)
+	}
+}
+
+func TestSLOPartialBurnScore(t *testing.T) {
+	// Half-threshold burn on both fast windows → norm 0.5 → score 0.5.
+	eng := NewSLOEngine([]Objective{availObjective()}, nil)
+	bad := fixedBad(map[string]map[time.Duration]float64{
+		"availability": {
+			5 * time.Minute: 0.0072, // burn 7.2 = threshold/2
+			time.Hour:       0.0072,
+		},
+	})
+	statuses, _ := eng.Evaluate(t0, bad)
+	if got := statuses[0].Score; math.Abs(got-0.5) > 1e-9 {
+		t.Fatalf("score = %v, want 0.5", got)
+	}
+	if statuses[0].Breaching {
+		t.Fatal("half-threshold burn must not breach")
+	}
+}
+
+func TestSLOBreachTransitions(t *testing.T) {
+	eng := NewSLOEngine([]Objective{availObjective()}, nil)
+	hot := fixedBad(map[string]map[time.Duration]float64{
+		"availability": {5 * time.Minute: 0.05, time.Hour: 0.05},
+	})
+	cold := fixedBad(map[string]map[time.Duration]float64{
+		"availability": {5 * time.Minute: 0, time.Hour: 0},
+	})
+	_, events := eng.Evaluate(t0, hot)
+	if len(events) != 1 || events[0].Resolved {
+		t.Fatalf("first hot eval events = %+v, want breach start", events)
+	}
+	// Still breaching: no duplicate event.
+	_, events = eng.Evaluate(t0.Add(time.Minute), hot)
+	if len(events) != 0 {
+		t.Fatalf("steady breach re-emitted events %+v", events)
+	}
+	// Recovered: one resolve event.
+	_, events = eng.Evaluate(t0.Add(2*time.Minute), cold)
+	if len(events) != 1 || !events[0].Resolved {
+		t.Fatalf("recovery events = %+v, want one resolve", events)
+	}
+	// Steady healthy: silence.
+	_, events = eng.Evaluate(t0.Add(3*time.Minute), cold)
+	if len(events) != 0 {
+		t.Fatalf("steady healthy emitted events %+v", events)
+	}
+	if st := eng.Latest(); len(st) != 1 || st[0].Breaching {
+		t.Fatalf("latest = %+v, want healthy", st)
+	}
+}
+
+func TestSLONoDataBurnsNothing(t *testing.T) {
+	eng := NewSLOEngine([]Objective{availObjective()}, nil)
+	noData := func(Objective, time.Duration, time.Time) (float64, bool) { return 0, false }
+	statuses, events := eng.Evaluate(t0, noData)
+	if statuses[0].Breaching || statuses[0].Score != 1 {
+		t.Fatalf("no-data status = %+v, want healthy score 1", statuses[0])
+	}
+	if len(events) != 0 {
+		t.Fatalf("no-data events = %+v", events)
+	}
+}
+
+func TestSLOVerdict(t *testing.T) {
+	v := Verdict(nil)
+	if !v.Healthy || v.Score != 1 || v.Status != "healthy" {
+		t.Fatalf("empty verdict = %+v", v)
+	}
+	v = Verdict([]SLOStatus{{Name: "a", Score: 0.9}, {Name: "b", Score: 0.4}})
+	if !v.Healthy || v.Score != 0.4 || v.Status != "burning" {
+		t.Fatalf("burning verdict = %+v", v)
+	}
+	v = Verdict([]SLOStatus{{Name: "a", Score: 0.9}, {Name: "b", Score: 0, Breaching: true}})
+	if v.Healthy || v.Score != 0 || v.Status != "breaching" {
+		t.Fatalf("breaching verdict = %+v", v)
+	}
+}
+
+func TestSLODefaultObjectives(t *testing.T) {
+	objs := DefaultObjectives(0.999, 250*time.Millisecond, []string{"query", "mutate"})
+	if len(objs) != 3 {
+		t.Fatalf("got %d objectives, want 3", len(objs))
+	}
+	if objs[0].Kind != SLOAvailability || objs[0].Target != 0.999 {
+		t.Fatalf("objs[0] = %+v", objs[0])
+	}
+	if objs[1].Kind != SLOLatency || objs[1].Class != "query" || objs[1].Bound != 250*time.Millisecond {
+		t.Fatalf("objs[1] = %+v", objs[1])
+	}
+	// Disabled dimensions are skipped.
+	if got := DefaultObjectives(0, 250*time.Millisecond, []string{"query"}); len(got) != 1 {
+		t.Fatalf("avail-off objectives = %+v", got)
+	}
+	if got := DefaultObjectives(0.999, 0, []string{"query"}); len(got) != 1 {
+		t.Fatalf("latency-off objectives = %+v", got)
+	}
+}
+
+func TestSLOEngineNilSafe(t *testing.T) {
+	var eng *SLOEngine
+	st, ev := eng.Evaluate(t0, nil)
+	if st != nil || ev != nil {
+		t.Fatal("nil engine must evaluate to nothing")
+	}
+	if eng.Latest() != nil || eng.Objectives() != nil {
+		t.Fatal("nil engine accessors must return nil")
+	}
+}
+
+func TestRuntimeSampler(t *testing.T) {
+	rs := NewRuntimeSampler()
+	st := rs.Sample()
+	if st.Goroutines < 1 {
+		t.Fatalf("goroutines = %d, want >= 1", st.Goroutines)
+	}
+	if st.HeapInuseBytes == 0 {
+		t.Fatal("heap in-use must be nonzero")
+	}
+	if st.GCPauseP99Ms < 0 {
+		t.Fatalf("gc pause p99 = %v, want >= 0", st.GCPauseP99Ms)
+	}
+}
+
+func TestReadBuildInfo(t *testing.T) {
+	bi := ReadBuildInfo()
+	if bi.Go == "" || bi.Version == "" || bi.GOAMD64 == "" {
+		t.Fatalf("build info has empty fields: %+v", bi)
+	}
+}

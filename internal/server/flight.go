@@ -124,6 +124,7 @@ type blackBoxBundle struct {
 	Time        time.Time          `json:"time"`
 	Reason      string             `json:"reason"`
 	PID         int                `json:"pid"`
+	Build       obs.BuildInfo      `json:"build"`
 	Flight      []obs.WideEvent    `json:"flight"`
 	FlightStats obs.FlightStats    `json:"flight_stats"`
 	Journal     []obs.JournalEvent `json:"journal"`
@@ -147,6 +148,7 @@ func (s *Server) WriteBlackBox(reason string) (string, error) {
 		Time:        time.Now(),
 		Reason:      reason,
 		PID:         os.Getpid(),
+		Build:       obs.ReadBuildInfo(),
 		Flight:      s.flight.Events(obs.FlightFilter{}),
 		FlightStats: s.flight.Stats(),
 		Journal:     s.journal.Snapshot(),

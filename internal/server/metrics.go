@@ -1,6 +1,7 @@
 package server
 
 import (
+	"fmt"
 	"io"
 	"math"
 	"sort"
@@ -46,6 +47,7 @@ type Metrics struct {
 	start    time.Time
 	requests atomic.Uint64
 	errors   atomic.Uint64
+	resp429  atomic.Uint64
 
 	mutationBatches atomic.Uint64
 	mutationsTotal  atomic.Uint64
@@ -93,11 +95,17 @@ func NewMetrics() *Metrics {
 	return &Metrics{start: time.Now()}
 }
 
-// Observe records one finished request.
-func (m *Metrics) Observe(endpoint string, d time.Duration, isErr bool) {
+// Observe records one finished request by its response status. Statuses
+// >= 400 count as errors; 429s are additionally counted on their own so
+// the SLO layer can exclude honest backpressure from availability burn.
+func (m *Metrics) Observe(endpoint string, d time.Duration, status int) {
+	isErr := status >= 400
 	m.requests.Add(1)
 	if isErr {
 		m.errors.Add(1)
+	}
+	if status == 429 {
+		m.resp429.Add(1)
 	}
 	es := m.endpoint(endpoint)
 	es.count.Add(1)
@@ -202,6 +210,7 @@ type MetricsSnapshot struct {
 	UptimeSeconds float64           `json:"uptime_seconds"`
 	Requests      uint64            `json:"requests_total"`
 	Errors        uint64            `json:"errors_total"`
+	Resp429       uint64            `json:"responses_429_total"`
 	QPS           float64           `json:"qps_1m"`
 	Latency       LatencyStats      `json:"latency"`
 	Cache         CacheStats        `json:"cache"`
@@ -214,6 +223,20 @@ type MetricsSnapshot struct {
 	// derived from the per-endpoint histograms.
 	LatencyByEndpoint map[string]EndpointLatency `json:"latency_by_endpoint"`
 	Datasets          []DatasetInfo              `json:"datasets"`
+	// Runtime and Build report Go runtime telemetry and binary identity;
+	// SLO the latest burn-rate evaluation (nil when the SLO engine is
+	// off). All three are filled by the server's metricsView.
+	Runtime obs.RuntimeStats `json:"runtime"`
+	Build   obs.BuildInfo    `json:"build"`
+	SLO     *SLOView         `json:"slo,omitempty"`
+}
+
+// SLOView is the /metrics (and black-box) rendering of the SLO engine's
+// latest evaluation.
+type SLOView struct {
+	Healthy    bool            `json:"healthy"`
+	Score      float64         `json:"score"`
+	Objectives []obs.SLOStatus `json:"objectives"`
 }
 
 // PoolStats is the /metrics view of the worker pool.
@@ -230,6 +253,7 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 		UptimeSeconds: now.Sub(m.start).Seconds(),
 		Requests:      m.requests.Load(),
 		Errors:        m.errors.Load(),
+		Resp429:       m.resp429.Load(),
 		ByEndpoint:    map[string]uint64{},
 		Mutations: MutationStats{
 			Batches:       m.mutationBatches.Load(),
@@ -313,6 +337,184 @@ func percentile(sorted []float64, p float64) float64 {
 	return sorted[idx]
 }
 
+// EndpointSample is one endpoint's row in a MetricsSample: counters,
+// per-bucket histogram counts (obs.DefaultLatencyBuckets layout, +Inf
+// last), and percentile estimates derived from them.
+type EndpointSample struct {
+	Name    string
+	Count   uint64
+	Errors  uint64
+	Buckets []uint64
+	P50Ms   float64
+	P99Ms   float64
+}
+
+// MetricsSample is the reusable scratch the telemetry sampler fills every
+// tick via SampleInto. Unlike Snapshot it holds no maps: endpoint rows
+// live in a sorted slice that is reused across ticks, so steady-state
+// sampling (no new endpoints) performs zero allocations. A MetricsSample
+// must not be copied after first use (SampleInto caches a closure over
+// its address).
+type MetricsSample struct {
+	UptimeSeconds float64
+	Requests      uint64
+	Errors        uint64
+	Resp429       uint64
+
+	MutationBatches uint64
+	MutationsTotal  uint64
+	CacheMigrated   uint64
+	CacheDropped    uint64
+	Recoveries      uint64
+	WhatIfProbes    uint64
+	WhatIfKept      uint64
+
+	QPS      float64
+	LatP50Ms float64
+	LatP95Ms float64
+	LatP99Ms float64
+
+	// Endpoints is sorted by name and reused across ticks; rows for
+	// endpoints that disappeared keep their last counters (endpoints are
+	// never unregistered).
+	Endpoints []EndpointSample
+
+	lats    []float64           // reused latency scratch for the striped window
+	rangeFn func(k, v any) bool // cached Range closure (avoids one alloc/call)
+}
+
+// row returns the endpoint's row, inserting it in name order on first
+// sight (the only allocating path; the steady state is a binary search).
+func (ms *MetricsSample) row(name string) *EndpointSample {
+	lo, hi := 0, len(ms.Endpoints)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if ms.Endpoints[mid].Name < name {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(ms.Endpoints) && ms.Endpoints[lo].Name == name {
+		return &ms.Endpoints[lo]
+	}
+	ms.Endpoints = append(ms.Endpoints, EndpointSample{})
+	copy(ms.Endpoints[lo+1:], ms.Endpoints[lo:])
+	ms.Endpoints[lo] = EndpointSample{
+		Name:    name,
+		Buckets: make([]uint64, len(obs.DefaultLatencyBuckets)+1),
+	}
+	return &ms.Endpoints[lo]
+}
+
+// SampleInto fills ms with the current counters, endpoint rows, and
+// striped-window percentiles. It is the sampler's allocation-free
+// alternative to Snapshot (which builds fresh maps per call for the JSON
+// response). ms is reused across calls; pass the same one every tick.
+func (m *Metrics) SampleInto(ms *MetricsSample) {
+	now := time.Now()
+	ms.UptimeSeconds = now.Sub(m.start).Seconds()
+	ms.Requests = m.requests.Load()
+	ms.Errors = m.errors.Load()
+	ms.Resp429 = m.resp429.Load()
+	ms.MutationBatches = m.mutationBatches.Load()
+	ms.MutationsTotal = m.mutationsTotal.Load()
+	ms.CacheMigrated = m.cacheMigrated.Load()
+	ms.CacheDropped = m.cacheDropped.Load()
+	ms.Recoveries = m.recoveries.Load()
+	ms.WhatIfProbes = m.whatifProbes.Load()
+	ms.WhatIfKept = m.whatifKept.Load()
+
+	if ms.rangeFn == nil {
+		ms.rangeFn = func(k, v any) bool {
+			es := v.(*endpointStats)
+			row := ms.row(k.(string))
+			row.Count = es.count.Load()
+			row.Errors = es.errors.Load()
+			es.hist.CopyCounts(row.Buckets)
+			row.P50Ms = bucketQuantileMs(row.Buckets, 0.50)
+			row.P99Ms = bucketQuantileMs(row.Buckets, 0.99)
+			return true
+		}
+	}
+	m.byEndpoint.Range(ms.rangeFn)
+
+	ms.lats = ms.lats[:0]
+	var hits uint64
+	cutoff := now.Unix() - qpsBuckets
+	for i := range m.stripes {
+		st := &m.stripes[i]
+		st.mu.Lock()
+		ms.lats = append(ms.lats, st.lat[:st.latN]...)
+		for _, b := range st.qps {
+			if b.sec > cutoff {
+				hits += b.n
+			}
+		}
+		st.mu.Unlock()
+	}
+	window := ms.UptimeSeconds
+	if window > qpsBuckets {
+		window = qpsBuckets
+	}
+	ms.QPS = 0
+	if window > 0 {
+		ms.QPS = float64(hits) / window
+	}
+	ms.LatP50Ms, ms.LatP95Ms, ms.LatP99Ms = 0, 0, 0
+	if len(ms.lats) > 0 {
+		sort.Float64s(ms.lats)
+		ms.LatP50Ms = percentile(ms.lats, 0.50)
+		ms.LatP95Ms = percentile(ms.lats, 0.95)
+		ms.LatP99Ms = percentile(ms.lats, 0.99)
+	}
+}
+
+// windowLabel renders a burn window compactly for metric labels ("5m",
+// "1h") instead of time.Duration's "5m0s"/"1h0m0s".
+func windowLabel(d time.Duration) string {
+	switch {
+	case d >= time.Hour && d%time.Hour == 0:
+		return fmt.Sprintf("%dh", d/time.Hour)
+	case d >= time.Minute && d%time.Minute == 0:
+		return fmt.Sprintf("%dm", d/time.Minute)
+	default:
+		return d.String()
+	}
+}
+
+// bucketQuantileMs estimates the p-quantile in milliseconds from
+// per-bucket counts in the obs.DefaultLatencyBuckets layout (same
+// nearest-rank, report-the-upper-bound rule as obs.HistSnapshot.Quantile).
+func bucketQuantileMs(counts []uint64, p float64) float64 {
+	bounds := obs.DefaultLatencyBuckets
+	var total uint64
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(math.Ceil(p * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > total {
+		rank = total
+	}
+	var cum uint64
+	for i, c := range counts {
+		cum += c
+		if cum >= rank {
+			if i >= len(bounds) {
+				return bounds[len(bounds)-1] * 1000
+			}
+			return bounds[i] * 1000
+		}
+	}
+	return bounds[len(bounds)-1] * 1000
+}
+
 // WriteProm renders the metrics in Prometheus text exposition format
 // (the /metrics.prom body). snap must come from the server's metricsView
 // so the cache/pool/CPU/dataset sections are filled in; the per-endpoint
@@ -322,6 +524,7 @@ func (m *Metrics) WriteProm(w io.Writer, snap MetricsSnapshot) error {
 	p.Gauge("kspr_uptime_seconds", "Seconds since the server started.", snap.UptimeSeconds)
 	p.Counter("kspr_requests_total", "HTTP requests served across all endpoints.", float64(snap.Requests))
 	p.Counter("kspr_errors_total", "Requests answered with status >= 400, plus per-item failures inside streamed batches.", float64(snap.Errors))
+	p.Counter("kspr_responses_429_total", "Requests shed with 429 (CPU budget exhausted or queue full).", float64(snap.Resp429))
 	p.Gauge("kspr_qps_1m", "Requests per second over the last minute.", snap.QPS)
 
 	// Per-endpoint counters and histograms, in sorted endpoint order so
@@ -382,6 +585,43 @@ func (m *Metrics) WriteProm(w io.Writer, snap MetricsSnapshot) error {
 				v = 1.0
 			}
 			p.Sample("ksprd_index_warm", []obs.Label{{Name: "dataset", Value: d.Name}}, v)
+		}
+	}
+
+	// Go runtime telemetry and binary identity.
+	p.Gauge("ksprd_go_goroutines", "Live goroutines.", float64(snap.Runtime.Goroutines))
+	p.Gauge("ksprd_go_heap_inuse_bytes", "Heap bytes in use (live objects plus unused span tails).", float64(snap.Runtime.HeapInuseBytes))
+	p.Gauge("ksprd_go_gc_pause_p99_seconds", "p99 GC stop-the-world pause since process start.", snap.Runtime.GCPauseP99Ms/1000)
+	p.Header("ksprd_build_info", "Binary identity; the value is always 1, the labels carry the facts.", "gauge")
+	p.Sample("ksprd_build_info", []obs.Label{
+		{Name: "version", Value: snap.Build.Version},
+		{Name: "go", Value: snap.Build.Go},
+		{Name: "goamd64", Value: snap.Build.GOAMD64},
+	}, 1)
+
+	// SLO burn rates and the rolled-up health verdict (absent when the SLO
+	// engine is off).
+	if snap.SLO != nil {
+		healthy := 1.0
+		if !snap.SLO.Healthy {
+			healthy = 0
+		}
+		p.Gauge("ksprd_slo_healthy", "1 when no SLO is actively breaching its burn-rate thresholds.", healthy)
+		p.Gauge("ksprd_health_score", "Overall health score in [0,1]: min over per-SLO scores.", snap.SLO.Score)
+		if len(snap.SLO.Objectives) > 0 {
+			p.Header("ksprd_slo_burn_rate", "Error-budget burn rate per SLO and window.", "gauge")
+			for _, st := range snap.SLO.Objectives {
+				for _, wb := range st.Windows {
+					p.Sample("ksprd_slo_burn_rate", []obs.Label{
+						{Name: "slo", Value: st.Name},
+						{Name: "window", Value: windowLabel(wb.Short)},
+					}, wb.BurnShort)
+					p.Sample("ksprd_slo_burn_rate", []obs.Label{
+						{Name: "slo", Value: st.Name},
+						{Name: "window", Value: windowLabel(wb.Long)},
+					}, wb.BurnLong)
+				}
+			}
 		}
 	}
 	return p.Err()

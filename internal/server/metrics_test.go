@@ -12,7 +12,7 @@ import (
 func TestMetricsStripedLatencyWindow(t *testing.T) {
 	m := NewMetrics()
 	for i := 0; i < 100; i++ {
-		m.Observe("kspr", time.Millisecond, false)
+		m.Observe("kspr", time.Millisecond, 200)
 	}
 	snap := m.Snapshot()
 	if snap.Requests != 100 {
@@ -22,7 +22,7 @@ func TestMetricsStripedLatencyWindow(t *testing.T) {
 		t.Fatalf("p50 = %v, want > 0 after 100 observations", snap.Latency.P50Ms)
 	}
 	for i := 0; i < latWindow*2; i++ {
-		m.Observe("kspr", 2*time.Millisecond, false)
+		m.Observe("kspr", 2*time.Millisecond, 200)
 	}
 	total := 0
 	for i := range m.stripes {
@@ -48,7 +48,7 @@ func TestMetricsStripedQPSSum(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			for i := 0; i < reqs/8; i++ {
-				m.Observe("kspr", time.Millisecond, false)
+				m.Observe("kspr", time.Millisecond, 200)
 			}
 		}()
 	}
@@ -80,7 +80,7 @@ func BenchmarkMetricsObserveParallel(b *testing.B) {
 	b.ReportAllocs()
 	b.RunParallel(func(pb *testing.PB) {
 		for pb.Next() {
-			m.Observe("kspr", d, false)
+			m.Observe("kspr", d, 200)
 		}
 	})
 }

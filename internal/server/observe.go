@@ -208,5 +208,14 @@ func (s *Server) metricsView() MetricsSnapshot {
 	snap.Pool = PoolStats{Workers: s.pool.Workers(), Depth: s.pool.Depth()}
 	snap.CPU = CPUStats{ExtraSlots: s.cpu.Slots(), InUse: s.cpu.InUse()}
 	snap.Datasets = s.registry.List()
+	s.rtMu.Lock()
+	snap.Runtime = s.rtScrape.Sample()
+	s.rtMu.Unlock()
+	snap.Build = obs.ReadBuildInfo()
+	if s.sampler != nil {
+		snap.Build = s.sampler.build
+		v := s.sampler.latestVerdict()
+		snap.SLO = &SLOView{Healthy: v.Healthy, Score: v.Score, Objectives: v.SLOs}
+	}
 	return snap
 }

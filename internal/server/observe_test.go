@@ -212,7 +212,7 @@ func TestEndpointPercentilesAgree(t *testing.T) {
 		7 * time.Millisecond, 12 * time.Millisecond, 40 * time.Millisecond,
 	}
 	for _, d := range durs {
-		m.Observe("kspr", d, false)
+		m.Observe("kspr", d, 200)
 	}
 	snap := m.Snapshot()
 	ep, ok := snap.LatencyByEndpoint["kspr"]
@@ -253,7 +253,11 @@ func TestMetricsRaceStress(t *testing.T) {
 		go func(g int) {
 			defer wg.Done()
 			for i := 0; i < 500; i++ {
-				m.Observe(endpoints[(g+i)%len(endpoints)], time.Duration(i)*time.Microsecond, i%7 == 0)
+				status := 200
+				if i%7 == 0 {
+					status = 500
+				}
+				m.Observe(endpoints[(g+i)%len(endpoints)], time.Duration(i)*time.Microsecond, status)
 			}
 		}(g)
 	}

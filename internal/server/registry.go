@@ -524,6 +524,30 @@ func (r *Registry) Close() {
 	}
 }
 
+// Count returns the number of registered datasets without building the
+// List view; the telemetry sampler calls it every tick.
+func (r *Registry) Count() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.sets)
+}
+
+// MaxGeneration returns the highest dataset generation currently
+// registered (0 with no datasets) — the tag slo_burn journal events carry
+// so a breach joins against flight-recorder evidence captured under the
+// same generation.
+func (r *Registry) MaxGeneration() uint64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var g uint64
+	for _, s := range r.sets {
+		if s.Generation > g {
+			g = s.Generation
+		}
+	}
+	return g
+}
+
 // List returns the registered datasets sorted by name.
 func (r *Registry) List() []DatasetInfo {
 	r.mu.RLock()

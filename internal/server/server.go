@@ -6,6 +6,7 @@ import (
 	"log/slog"
 	"net/http"
 	"runtime"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -79,6 +80,20 @@ type Config struct {
 	// journal, and a metrics snapshot to one JSON bundle under this
 	// directory before the process dies.
 	BlackBoxDir string
+	// HistoryInterval is the telemetry sampler cadence (0 =
+	// obs.DefaultHistoryInterval, 10s; negative disables the history ring
+	// and the SLO engine, turning /v1/debug:history and /v1/debug:health
+	// into 404s). HistoryRetention is how far back the ring reaches (0 =
+	// obs.DefaultHistoryRetention, 1h).
+	HistoryInterval  time.Duration
+	HistoryRetention time.Duration
+	// SLOAvailability is the availability objective's good-fraction
+	// target (0 = 0.999; negative disables the availability SLO). SLOP99
+	// bounds per-class p99 latency (0 = 500ms; negative disables the
+	// latency SLOs). Burn rates use the standard fast 5m/1h + slow 30m/6h
+	// multi-window pairs.
+	SLOAvailability float64
+	SLOP99          time.Duration
 }
 
 // defaultFlightSlow classifies requests as slow for flight capture when no
@@ -130,6 +145,13 @@ type Server struct {
 	// debug endpoints and the black box read.
 	flight  *obs.FlightRecorder
 	journal *obs.Journal
+	// sampler owns the telemetry history ring and the SLO engine (nil
+	// when Config.HistoryInterval < 0).
+	sampler *sampler
+	// rtScrape reads Go runtime telemetry for /metrics scrapes; rtMu
+	// serializes it (the sampler goroutine has its own reader).
+	rtScrape *obs.RuntimeSampler
+	rtMu     sync.Mutex
 	// ready flips once startup WAL recovery finishes (or was never
 	// needed); /readyz serves 503 until then.
 	ready atomic.Bool
@@ -151,6 +173,7 @@ func NewServer(cfg Config) *Server {
 		metrics:  NewMetrics(),
 		logger:   cfg.Logger,
 		journal:  obs.NewJournal(0),
+		rtScrape: obs.NewRuntimeSampler(),
 	}
 	if cfg.FlightCapacity >= 0 {
 		slow := cfg.SlowQuery
@@ -200,7 +223,15 @@ func NewServer(cfg Config) *Server {
 	// lifecycle event journal (same custom-verb style as :mutate).
 	mux.HandleFunc("GET /v1/debug:flight", s.instrument("debug.flight", s.handleDebugFlight))
 	mux.HandleFunc("GET /v1/debug:events", s.instrument("debug.events", s.handleDebugEvents))
+	// The time dimension: the telemetry history ring and the scored SLO
+	// health verdict it feeds.
+	mux.HandleFunc("GET /v1/debug:history", s.instrument("debug.history", s.handleDebugHistory))
+	mux.HandleFunc("GET /v1/debug:health", s.instrument("debug.health", s.handleDebugHealth))
 	s.mux = mux
+	if cfg.HistoryInterval >= 0 {
+		s.sampler = newSampler(s)
+		go s.sampler.run()
+	}
 	return s
 }
 
@@ -307,7 +338,7 @@ func (s *Server) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
 		}
 		h(rec, r)
 		elapsed := time.Since(start)
-		s.metrics.Observe(name, elapsed, rec.status >= 400)
+		s.metrics.Observe(name, elapsed, rec.status)
 		s.logRequest(name, r, ri, rec.status, elapsed)
 		if kind, ok := s.flight.ShouldCapture(name, rec.status, elapsed); ok {
 			ev := obs.WideEvent{
@@ -330,6 +361,7 @@ func (s *Server) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
 // handles. Call after the HTTP listener has stopped accepting requests
 // (http.Server.Shutdown).
 func (s *Server) Close() {
+	s.sampler.close()
 	s.pool.Close()
 	s.registry.Close()
 }

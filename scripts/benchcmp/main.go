@@ -296,6 +296,8 @@ type loadFile struct {
 		Violations uint64   `json:"violations"`
 		Examples   []string `json:"violation_examples"`
 	} `json:"verify"`
+
+	HistoryTicks uint64 `json:"history_ticks"`
 }
 
 func loadLoadFile(path string) (loadFile, error) {
@@ -374,6 +376,18 @@ func loadGate(baselinePath, freshPath string, maxRegress, errDelta, inject float
 		failures = append(failures, "error_rate")
 	}
 	fmt.Printf("  %-8s %12.4f -> %12.4f  %s\n", "errors", baseline.ErrorRate, errRate, verdict)
+
+	// Telemetry-sampler liveness: once a baseline records history ticks,
+	// every fresh run must too — a zero here means the sampler goroutine
+	// died or history got silently disabled, not a slow machine.
+	if baseline.HistoryTicks > 0 {
+		if fresh.HistoryTicks == 0 {
+			failures = append(failures, "history_ticks")
+			fmt.Printf("  history  baseline %d ticks -> fresh 0: telemetry sampler is dead\n", baseline.HistoryTicks)
+		} else {
+			fmt.Printf("  history  %d -> %d sampler ticks  ok\n", baseline.HistoryTicks, fresh.HistoryTicks)
+		}
+	}
 
 	// The verifier's verdict is not a tolerance: any invariant violation
 	// in the fresh run fails the gate outright.

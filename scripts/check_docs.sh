@@ -6,7 +6,7 @@
 set -eu
 cd "$(dirname "$0")/.."
 
-PKGS="internal/core internal/celltree internal/kernel internal/lp internal/obs internal/server internal/store cmd/ksprload ."
+PKGS="internal/core internal/celltree internal/kernel internal/lp internal/obs internal/server internal/store cmd/ksprload cmd/ksprtop ."
 
 fail=0
 for pkg in $PKGS; do

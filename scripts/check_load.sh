@@ -28,11 +28,15 @@ fi
 # make the run double as the observability smoke: after the timed phase
 # ksprload injects known-bad requests and asserts the server's flight
 # recorder captured every one of them plus at least one sampled normal.
+# -check-health extends the smoke to the SLO engine: the clean run must
+# report healthy, then a driven error storm must flip the verdict to
+# breaching with a journaled slo_burn that joins the flight evidence.
 go run ./cmd/ksprload \
     -duration "${LOAD_DURATION:-5s}" \
     -conc "${LOAD_CONC:-8}" \
     -inject-errors "${LOAD_INJECT_ERRORS:-5}" \
     -check-flight \
+    -check-health \
     -name load_ci
 
 go run ./scripts/benchcmp \
